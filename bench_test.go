@@ -1,0 +1,264 @@
+package otm
+
+// Benchmarks regenerating the paper's quantitative content (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
+// outputs):
+//
+//	BenchmarkStepsPerOp/*      E9  — Theorem 3 sweep: steps of the
+//	                                 decisive read vs k, per engine.
+//	BenchmarkFullScan/*        E10 — tightness: Θ(k²) total steps for
+//	                                 dstm, Θ(k) for the O(1) engines.
+//	BenchmarkThroughput/*      E13 — read-dominated workload comparison.
+//	BenchmarkCheckOpacity/*    E1/E2 — the checkers on the paper's
+//	                                 figures and on random histories.
+//	BenchmarkTheorem2          E8  — graph-characterization search.
+//
+// Step counts are reported via the custom metrics steps/op so the
+// asymptotic shapes are visible directly in `go test -bench` output.
+
+import (
+	"fmt"
+	"testing"
+
+	"otm/internal/bench"
+	"otm/internal/core"
+	"otm/internal/gen"
+	"otm/internal/history"
+	"otm/internal/opg"
+	"otm/internal/stm"
+)
+
+var sweepKs = []int{16, 64, 256, 1024}
+
+// BenchmarkStepsPerOp is experiment E9: for every engine and k, the cost
+// in base-object steps of the reader's decisive operation in the
+// Theorem 3 scenario (T1 primes k/2 reads, T2 commits a write, T1 reads
+// once more). dstm's steps/op grows linearly with k; every other engine
+// stays flat.
+func BenchmarkStepsPerOp(b *testing.B) {
+	for _, e := range bench.Engines() {
+		for _, k := range sweepKs {
+			b.Run(fmt.Sprintf("%s/k=%d", e.Name, k), func(b *testing.B) {
+				var steps int64
+				for i := 0; i < b.N; i++ {
+					s, err := bench.StepsForNextRead(e, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = s
+				}
+				b.ReportMetric(float64(steps), "steps/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFullScan is experiment E10: total steps of one transaction
+// reading all k objects — Θ(k²) for dstm (the paper's "Θ(k²) steps to
+// execute a transaction that accesses k objects"), Θ(k) otherwise.
+func BenchmarkFullScan(b *testing.B) {
+	for _, e := range bench.Engines() {
+		for _, k := range sweepKs {
+			b.Run(fmt.Sprintf("%s/k=%d", e.Name, k), func(b *testing.B) {
+				var steps int64
+				for i := 0; i < b.N; i++ {
+					s, err := bench.FullScanSteps(e, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = s
+				}
+				b.ReportMetric(float64(steps), "steps/tx")
+			})
+		}
+	}
+}
+
+// BenchmarkThroughput is experiment E13: wall-clock throughput of a
+// read-dominated (90% reads) workload, the regime where invisible reads
+// pay off, and a write-heavy (50% reads) one, where contention dominates.
+func BenchmarkThroughput(b *testing.B) {
+	const k = 256
+	for _, mix := range []struct {
+		name     string
+		readFrac float64
+	}{
+		{"read90", 0.9},
+		{"read50", 0.5},
+	} {
+		for _, e := range bench.Engines() {
+			b.Run(fmt.Sprintf("%s/%s", mix.name, e.Name), func(b *testing.B) {
+				tm := e.New(k)
+				b.RunParallel(func(pb *testing.PB) {
+					seed := 0
+					for pb.Next() {
+						seed++
+						ops := gen.MakeWorkload(int64(seed), 1, 8, k, mix.readFrac)[0]
+						err := stm.Atomically(tm, func(tx stm.Tx) error {
+							for _, op := range ops {
+								if op.Read {
+									if _, err := tx.Read(op.Obj); err != nil {
+										return err
+									}
+								} else if err := tx.Write(op.Obj, op.Val); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkContentionManagers is the contention-manager ablation: the
+// same progressive engine under each policy on a small, hot object set
+// (k=8) where conflicts are frequent — the regime where the manager
+// choice matters.
+func BenchmarkContentionManagers(b *testing.B) {
+	const k = 8
+	for _, engine := range []string{"dstm", "vstm"} {
+		for _, mgr := range bench.Managers() {
+			e, err := bench.ManagedEngine(engine, mgr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(e.Name, func(b *testing.B) {
+				tm := e.New(k)
+				b.RunParallel(func(pb *testing.PB) {
+					seed := 0
+					for pb.Next() {
+						seed++
+						ops := gen.MakeWorkload(int64(seed), 1, 4, k, 0.5)[0]
+						err := stm.Atomically(tm, func(tx stm.Tx) error {
+							for _, op := range ops {
+								if op.Read {
+									if _, err := tx.Read(op.Obj); err != nil {
+										return err
+									}
+								} else if err := tx.Write(op.Obj, op.Val); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// fig1 and fig2 are the paper's Figure 1 (non-opaque) and Figure 2
+// (opaque) histories.
+func fig1() history.History {
+	return history.MustParse(
+		"w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2")
+}
+
+func fig2() history.History {
+	return history.History{
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", history.OK),
+		history.Inv(2, "y", "write", 2), history.Ret(2, "y", "write", history.OK),
+		history.TryC(2),
+		history.Inv(1, "x", "read", nil),
+		history.Commit(2),
+		history.Inv(3, "y", "write", 3),
+		history.Ret(1, "x", "read", 1), history.Inv(1, "x", "write", 5),
+		history.Ret(3, "y", "write", history.OK),
+		history.Ret(1, "x", "write", history.OK), history.Inv(1, "y", "read", nil),
+		history.Inv(3, "x", "read", nil),
+		history.Ret(1, "y", "read", 2), history.TryC(1),
+		history.Ret(3, "x", "read", 1), history.TryC(3),
+		history.Abort(1),
+		history.Commit(3),
+	}
+}
+
+// BenchmarkCheckOpacity times the definitional checker on the paper's
+// two figures (E1, E2) and on random 5-transaction histories.
+func BenchmarkCheckOpacity(b *testing.B) {
+	b.Run("figure1", func(b *testing.B) {
+		h := fig1()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Opaque(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("figure2", func(b *testing.B) {
+		h := fig2()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Opaque(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("random5tx", func(b *testing.B) {
+		cfg := gen.Config{Txs: 5, Objs: 3, MaxOps: 3, PStaleRead: 0.3}
+		hs := make([]history.History, 64)
+		for i := range hs {
+			hs[i] = gen.History(cfg, int64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Opaque(hs[i%len(hs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTheorem2 times the graph-characterization search (E8) on the
+// paper's figures with the initializing transaction added.
+func BenchmarkTheorem2(b *testing.B) {
+	for name, h := range map[string]history.History{
+		"figure1": opg.WithInit(fig1(), 0),
+		"figure2": opg.WithInit(fig2(), 0),
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := opg.CheckTheorem2(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecorder measures the overhead of history recording on a
+// sequential workload (diagnostic; not a paper experiment).
+func BenchmarkRecorder(b *testing.B) {
+	for _, recorded := range []bool{false, true} {
+		name := "bare"
+		if recorded {
+			name = "recorded"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tm stm.TM = NewTL2(64)
+			if recorded {
+				tm = stm.NewRecorder(NewTL2(64))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := stm.Atomically(tm, func(tx stm.Tx) error {
+					if _, err := tx.Read(i % 64); err != nil {
+						return err
+					}
+					return tx.Write((i+1)%64, i)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+// Command histgen emits random well-formed transactional histories in
+// the textual notation of cmd/opacheck — a shell-level fuzzing aid:
+//
+//	histgen -n 20 -txs 4 -objs 2 -seed 7 | opacheck
+//
+// Each history is printed on one line; a trailing comment records the
+// seed so failures are reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"otm/internal/gen"
+)
+
+func main() {
+	n := flag.Int("n", 10, "number of histories")
+	txs := flag.Int("txs", 4, "transactions per history")
+	objs := flag.Int("objs", 2, "registers per history")
+	maxOps := flag.Int("ops", 3, "max operations per transaction")
+	seed := flag.Int64("seed", 1, "base seed (history i uses seed+i)")
+	stale := flag.Float64("stale", 0.25, "probability of adversarial read values")
+	init := flag.Bool("init", false, "prepend the initializing transaction T0")
+	flag.Parse()
+
+	cfg := gen.Config{
+		Txs: *txs, Objs: *objs, MaxOps: *maxOps,
+		PStaleRead: *stale, WithInit: *init,
+	}
+	for i := 0; i < *n; i++ {
+		s := *seed + int64(i)
+		h := gen.History(cfg, s)
+		fmt.Printf("%s   # seed=%d\n", h, s)
+	}
+}

@@ -1,0 +1,137 @@
+// Command opacheck checks transactional histories against opacity and
+// the weaker correctness criteria of the paper's §3, and prints the
+// opacity graph of the Theorem 2 characterization.
+//
+// Usage:
+//
+//	opacheck [-counter obj] [-graph] [-demo name] [history...]
+//
+// Histories are given as arguments or read from stdin (one per line; see
+// internal/history.Parse for the grammar), e.g.:
+//
+//	opacheck "w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2"
+//
+// -demo prints one of the paper's built-in examples: fig1, fig2, h3, h4,
+// counter, writers.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"otm/internal/core"
+	"otm/internal/criteria"
+	"otm/internal/history"
+	"otm/internal/opg"
+	"otm/internal/spec"
+)
+
+var demos = map[string]string{
+	"fig1":    "w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2",
+	"fig2":    "w2(x,1) w2(y,2) tryC2 inv1(x.read) C2 inv3(y.write,3) ret1(x.read)->1 w1(x,5) ret3(y.write)->ok r1(y)->2 tryC1 inv3(x.read) ret3(x.read)->1 tryC3 A1 C3",
+	"h3":      "w1(x,1) tryC1 r2(x)->1",
+	"h4":      "r1(x)->0 w2(x,5) w2(y,5) tryC2 r3(y)->5 r1(y)->0",
+	"counter": "inc1(c)->ok inc2(c)->ok inc3(c)->ok tryC1 C1 tryC2 C2 tryC3 C3 get4(c)->3 tryC4 C4",
+	"writers": "w1(x,1) w2(x,2) w1(y,1) w2(y,2) tryC1 C1 tryC2 C2 r3(x)->2 r3(y)->2 tryC3 C3",
+}
+
+func main() {
+	counterObjs := flag.String("counter", "", "comma-separated object names to treat as counters (default: all registers)")
+	graph := flag.Bool("graph", false, "also run the Theorem 2 graph characterization (register histories, adds T0)")
+	explain := flag.Bool("explain", false, "for non-opaque histories, locate the violation and implicated transactions")
+	demo := flag.String("demo", "", "check a built-in paper example: fig1|fig2|h3|h4|counter|writers")
+	flag.Parse()
+
+	var inputs []string
+	switch {
+	case *demo != "":
+		src, ok := demos[*demo]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "opacheck: unknown demo %q\n", *demo)
+			os.Exit(2)
+		}
+		fmt.Printf("# demo %s\n", *demo)
+		inputs = []string{src}
+	case flag.NArg() > 0:
+		inputs = flag.Args()
+	default:
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" && !strings.HasPrefix(line, "#") {
+				inputs = append(inputs, line)
+			}
+		}
+	}
+
+	exit := 0
+	for _, src := range inputs {
+		if err := checkOne(src, *counterObjs, *graph, *explain); err != nil {
+			fmt.Fprintf(os.Stderr, "opacheck: %v\n", err)
+			exit = 1
+		}
+		fmt.Println()
+	}
+	os.Exit(exit)
+}
+
+func checkOne(src, counterObjs string, graph, explain bool) error {
+	h, err := history.Parse(src)
+	if err != nil {
+		return err
+	}
+	if err := h.WellFormed(); err != nil {
+		return err
+	}
+	fmt.Println(h.Format())
+
+	objs := spec.Objects{}
+	for _, name := range strings.Split(counterObjs, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			objs[history.ObjID(name)] = spec.NewCounter(0)
+		}
+	}
+	for _, ob := range h.Objects() {
+		if _, ok := objs[ob]; !ok {
+			objs[ob] = spec.NewRegister(0)
+		}
+	}
+
+	rep, err := criteria.Evaluate(h, objs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+
+	if explain && !rep.Opaque {
+		d, err := core.Diagnose(h, core.Config{Objects: objs})
+		if err != nil {
+			return fmt.Errorf("diagnose: %w", err)
+		}
+		fmt.Println(d)
+	}
+
+	if graph {
+		gh := h
+		if !h.Contains(opg.InitTx) {
+			gh = opg.WithInit(h, 0)
+		}
+		res, err := opg.CheckTheorem2(gh)
+		if err != nil {
+			return fmt.Errorf("theorem 2: %w", err)
+		}
+		switch {
+		case !res.Consistent:
+			fmt.Printf("theorem2: inconsistent (%v)\n", res.Reason)
+		case res.Opaque:
+			fmt.Printf("theorem2: opaque; witness order %v, V=%v\ngraph:\n%s",
+				res.Order, res.V, res.Graph)
+		default:
+			fmt.Println("theorem2: no acyclic well-formed opacity graph exists")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"otm/internal/criteria"
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// TestDemosParseAndVerdicts pins every built-in demo to its expected
+// opacity verdict, so the CLI's showcase inputs cannot rot.
+func TestDemosParseAndVerdicts(t *testing.T) {
+	wantOpaque := map[string]bool{
+		"fig1":    false,
+		"fig2":    true,
+		"h3":      true,
+		"h4":      true,
+		"counter": true,
+		"writers": true,
+	}
+	for name, src := range demos {
+		h, err := history.Parse(src)
+		if err != nil {
+			t.Fatalf("demo %s does not parse: %v", name, err)
+		}
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("demo %s not well-formed: %v", name, err)
+		}
+		objs := spec.Objects{}
+		if name == "counter" {
+			objs["c"] = spec.NewCounter(0)
+		}
+		for _, ob := range h.Objects() {
+			if _, ok := objs[ob]; !ok {
+				objs[ob] = spec.NewRegister(0)
+			}
+		}
+		rep, err := criteria.Evaluate(h, objs)
+		if err != nil {
+			t.Fatalf("demo %s: %v", name, err)
+		}
+		if rep.Opaque != wantOpaque[name] {
+			t.Errorf("demo %s: opaque=%v, want %v", name, rep.Opaque, wantOpaque[name])
+		}
+	}
+}
+
+func TestCheckOneRejectsBadInput(t *testing.T) {
+	if err := checkOne("garbage !!!", "", false, false); err == nil {
+		t.Error("unparseable input must error")
+	}
+	if err := checkOne("C1", "", false, false); err == nil {
+		t.Error("malformed history must error")
+	}
+}
+
+func TestCheckOneRunsAllModes(t *testing.T) {
+	if err := checkOne(demos["fig1"], "", true, true); err != nil {
+		t.Errorf("fig1 with -graph -explain: %v", err)
+	}
+	if err := checkOne(demos["counter"], "c", false, false); err != nil {
+		t.Errorf("counter demo with -counter c: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+// Bank: concurrent money transfers over every opaque engine, with a
+// recorded audit. Each engine runs the same workload; the total balance
+// must be conserved in every committed snapshot, and a recorded small run
+// must pass the opacity checker.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"otm"
+)
+
+const (
+	accounts  = 16
+	initial   = 1000
+	workers   = 4
+	transfers = 200
+)
+
+func engines() map[string]func() otm.TM {
+	return map[string]func() otm.TM{
+		"dstm":  func() otm.TM { return otm.NewDSTM(accounts, otm.Greedy) },
+		"tl2":   func() otm.TM { return otm.NewTL2(accounts) },
+		"vstm":  func() otm.TM { return otm.NewVSTM(accounts, otm.Karma) },
+		"mvstm": func() otm.TM { return otm.NewMVSTM(accounts) },
+	}
+}
+
+func seedAccounts(tm otm.TM) error {
+	return otm.Atomically(tm, func(tx otm.Tx) error {
+		for i := 0; i < accounts; i++ {
+			if err := tx.Write(i, initial); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func transfer(tm otm.TM, from, to, amount int) error {
+	return otm.Atomically(tm, func(tx otm.Tx) error {
+		f, err := tx.Read(from)
+		if err != nil {
+			return err
+		}
+		if f < amount {
+			return nil // insufficient funds; commit a no-op
+		}
+		t, err := tx.Read(to)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(from, f-amount); err != nil {
+			return err
+		}
+		return tx.Write(to, t+amount)
+	})
+}
+
+func total(tm otm.TM) (int, error) {
+	var sum int
+	err := otm.Atomically(tm, func(tx otm.Tx) error {
+		sum = 0
+		for i := 0; i < accounts; i++ {
+			v, err := tx.Read(i)
+			if err != nil {
+				return err
+			}
+			sum += v
+		}
+		return nil
+	})
+	return sum, err
+}
+
+func runWorkload(name string, mk func() otm.TM) {
+	tm := mk()
+	if err := seedAccounts(tm); err != nil {
+		log.Fatalf("%s: seed: %v", name, err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				if err := transfer(tm, from, to, rng.Intn(50)+1); err != nil {
+					log.Fatalf("%s: transfer: %v", name, err)
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	sum, err := total(tm)
+	if err != nil {
+		log.Fatalf("%s: total: %v", name, err)
+	}
+	status := "OK"
+	if sum != accounts*initial {
+		status = "VIOLATED"
+	}
+	fmt.Printf("%-6s total=%d (want %d) %s\n", name, sum, accounts*initial, status)
+}
+
+// auditedRun records a 2-worker, 3-account run on the engine and checks
+// opacity of the produced history.
+func auditedRun(name string, mk func() otm.TM) {
+	rec := otm.NewRecorder(mk())
+	if err := otm.Atomically(rec, func(tx otm.Tx) error {
+		for i := 0; i < 3; i++ {
+			if err := tx.Write(i, 10); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5; i++ {
+				from, to := rng.Intn(3), rng.Intn(3)
+				if from == to {
+					continue
+				}
+				_ = otm.Atomically(rec, func(tx otm.Tx) error {
+					f, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					t, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, f-1); err != nil {
+						return err
+					}
+					return tx.Write(to, t+1)
+				})
+			}
+		}(int64(w) + 7)
+	}
+	wg.Wait()
+	res, err := otm.CheckOpacity(rec.History(), otm.CheckConfig{})
+	if err != nil {
+		log.Fatalf("%s: audit: %v", name, err)
+	}
+	if !res.Opaque {
+		log.Fatalf("%s: recorded run NOT opaque:\n%s", name, rec.History().Format())
+	}
+	fmt.Printf("%-6s audited run: opaque (witness %v)\n", name, res.Witness.Order)
+}
+
+func main() {
+	fmt.Printf("bank: %d accounts × %d, %d workers × %d transfers\n\n",
+		accounts, initial, workers, transfers)
+	names := []string{"dstm", "tl2", "vstm", "mvstm"}
+	es := engines()
+	for _, name := range names {
+		runWorkload(name, es[name])
+	}
+	fmt.Println()
+	for _, name := range names {
+		auditedRun(name, es[name])
+	}
+}

@@ -1,0 +1,97 @@
+// The paper's §2 motivating example, made executable.
+//
+// Two shared objects with the application invariant y == x² (and x ≥ 2).
+// Every transaction preserves the invariant. A concurrent updater changes
+// (x=4, y=16) to (x=2, y=4). A reader that sees the OLD x and the NEW y
+// observes x=4, y=4 — and computing 1/(y−x) divides by zero inside the
+// transaction, before any abort can save it. The paper's point: in a TM
+// (unlike a sandboxed database) the zombie's computation already
+// happened; opacity exists to make such states unobservable.
+//
+// This program replays the schedule against:
+//
+//	gatm — global atomicity only: the division by zero HAPPENS (caught
+//	       here with recover, which a real application may not have);
+//	dstm — opaque: the reader is forcefully aborted at the second read
+//	       and the division is never reached.
+//
+// Run with: go run ./examples/invariant
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"otm"
+)
+
+const (
+	objX = 0
+	objY = 1
+)
+
+// setUp establishes x=4, y=16 (the invariant y == x²).
+func setUp(tm otm.TM) error {
+	return otm.Atomically(tm, func(tx otm.Tx) error {
+		if err := tx.Write(objX, 4); err != nil {
+			return err
+		}
+		return tx.Write(objY, 16)
+	})
+}
+
+// schedule interleaves the reader and the updater exactly as in §2:
+// the reader reads x, the updater commits (x=2, y=4), the reader reads y
+// and computes 1/(y-x). It reports what happened to the reader.
+func schedule(tm otm.TM) (outcome string) {
+	reader := tm.Begin()
+	x, err := reader.Read(objX)
+	if err != nil {
+		return "reader aborted at first read"
+	}
+
+	// The updater runs to completion between the reader's two reads.
+	if err := otm.Atomically(tm, func(tx otm.Tx) error {
+		if err := tx.Write(objX, 2); err != nil {
+			return err
+		}
+		return tx.Write(objY, 4)
+	}); err != nil {
+		return "updater failed"
+	}
+
+	y, err := reader.Read(objY)
+	if err != nil {
+		if errors.Is(err, otm.ErrAborted) {
+			return "reader forcefully aborted before observing the inconsistency (opacity at work)"
+		}
+		return "reader failed: " + err.Error()
+	}
+
+	// The zombie computation of §2.
+	defer func() {
+		if r := recover(); r != nil {
+			outcome = fmt.Sprintf("reader read x=%d y=%d and PANICKED computing 1/(y-x): %v", x, y, r)
+		}
+	}()
+	q := 1 / (y - x)
+	reader.Abort()
+	return fmt.Sprintf("reader read x=%d y=%d, computed 1/(y-x)=%d", x, y, q)
+}
+
+func main() {
+	fmt.Println("invariant: y == x², updater changes (4,16) -> (2,4)")
+	for _, tc := range []struct {
+		name string
+		tm   otm.TM
+	}{
+		{"gatm (not opaque)", otm.NewGATM(2)},
+		{"dstm (opaque)    ", otm.NewDSTM(2, otm.Aggressive)},
+	} {
+		if err := setUp(tc.tm); err != nil {
+			fmt.Printf("%s: setup failed: %v\n", tc.name, err)
+			continue
+		}
+		fmt.Printf("%s: %s\n", tc.name, schedule(tc.tm))
+	}
+}

@@ -1,0 +1,258 @@
+// Listset: a sorted linked-list set built on the transactional API — the
+// dynamic-sized data structure that motivated DSTM (the paper's [14]).
+// Nodes live in TM registers; traversal, insertion and removal each run
+// as one transaction, so the list is always observed in a consistent
+// state regardless of concurrency.
+//
+// Register layout (integer registers only):
+//
+//	reg 0            head: index of the first node + 1, or 0 for empty
+//	reg 1            bump allocator: next free node slot
+//	reg 2+2j, 3+2j   node j: value, next (same encoding as head)
+//
+// Run with: go run ./examples/listset
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"otm"
+)
+
+const (
+	regHead  = 0
+	regAlloc = 1
+	nodeBase = 2
+	maxNodes = 4096
+)
+
+// List is a sorted int set stored inside a TM.
+type List struct {
+	tm otm.TM
+}
+
+// NewList allocates the backing TM and initializes the allocator.
+func NewList(tm otm.TM) (*List, error) {
+	l := &List{tm: tm}
+	err := otm.Atomically(tm, func(tx otm.Tx) error {
+		if err := tx.Write(regHead, 0); err != nil {
+			return err
+		}
+		return tx.Write(regAlloc, 0)
+	})
+	return l, err
+}
+
+func valueReg(node int) int { return nodeBase + 2*node }
+func nextReg(node int) int  { return nodeBase + 2*node + 1 }
+
+// Insert adds v; it returns false if v was already present.
+func (l *List) Insert(v int) (added bool, err error) {
+	err = otm.Atomically(l.tm, func(tx otm.Tx) error {
+		added = false
+		prevNext := regHead
+		cur, err := tx.Read(regHead)
+		if err != nil {
+			return err
+		}
+		for cur != 0 {
+			node := cur - 1
+			val, err := tx.Read(valueReg(node))
+			if err != nil {
+				return err
+			}
+			if val == v {
+				return nil // already present
+			}
+			if val > v {
+				break
+			}
+			prevNext = nextReg(node)
+			if cur, err = tx.Read(prevNext); err != nil {
+				return err
+			}
+		}
+		// Allocate a node and splice it in before cur.
+		slot, err := tx.Read(regAlloc)
+		if err != nil {
+			return err
+		}
+		if slot >= maxNodes {
+			return fmt.Errorf("listset: out of nodes")
+		}
+		if err := tx.Write(regAlloc, slot+1); err != nil {
+			return err
+		}
+		if err := tx.Write(valueReg(slot), v); err != nil {
+			return err
+		}
+		if err := tx.Write(nextReg(slot), cur); err != nil {
+			return err
+		}
+		if err := tx.Write(prevNext, slot+1); err != nil {
+			return err
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Remove deletes v; it returns false if v was absent.
+func (l *List) Remove(v int) (removed bool, err error) {
+	err = otm.Atomically(l.tm, func(tx otm.Tx) error {
+		removed = false
+		prevNext := regHead
+		cur, err := tx.Read(regHead)
+		if err != nil {
+			return err
+		}
+		for cur != 0 {
+			node := cur - 1
+			val, err := tx.Read(valueReg(node))
+			if err != nil {
+				return err
+			}
+			if val == v {
+				next, err := tx.Read(nextReg(node))
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(prevNext, next); err != nil {
+					return err
+				}
+				removed = true
+				return nil
+			}
+			if val > v {
+				return nil
+			}
+			prevNext = nextReg(node)
+			if cur, err = tx.Read(prevNext); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return removed, err
+}
+
+// Contains reports membership.
+func (l *List) Contains(v int) (found bool, err error) {
+	err = otm.Atomically(l.tm, func(tx otm.Tx) error {
+		found = false
+		cur, err := tx.Read(regHead)
+		if err != nil {
+			return err
+		}
+		for cur != 0 {
+			node := cur - 1
+			val, err := tx.Read(valueReg(node))
+			if err != nil {
+				return err
+			}
+			if val == v {
+				found = true
+				return nil
+			}
+			if val > v {
+				return nil
+			}
+			if cur, err = tx.Read(nextReg(node)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return found, err
+}
+
+// Snapshot returns the contents, in order, in one transaction.
+func (l *List) Snapshot() (out []int, err error) {
+	err = otm.Atomically(l.tm, func(tx otm.Tx) error {
+		out = out[:0]
+		cur, err := tx.Read(regHead)
+		if err != nil {
+			return err
+		}
+		for cur != 0 {
+			node := cur - 1
+			val, err := tx.Read(valueReg(node))
+			if err != nil {
+				return err
+			}
+			out = append(out, val)
+			if cur, err = tx.Read(nextReg(node)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+func main() {
+	const regs = nodeBase + 2*maxNodes
+	for _, tc := range []struct {
+		name string
+		tm   otm.TM
+	}{
+		{"dstm", otm.NewDSTM(regs, otm.Greedy)},
+		{"tl2", otm.NewTL2(regs)},
+		{"mvstm", otm.NewMVSTM(regs)},
+	} {
+		l, err := NewList(tc.tm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// 4 goroutines insert disjoint strided values, concurrently with
+		// membership queries.
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					v := i*4 + w
+					if _, err := l.Insert(v); err != nil {
+						log.Fatal(err)
+					}
+					if ok, err := l.Contains(v); err != nil || !ok {
+						log.Fatalf("%s: inserted %d not found (err=%v)", tc.name, v, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Remove the odd values.
+		for v := 1; v < 200; v += 2 {
+			if _, err := l.Remove(v); err != nil {
+				log.Fatal(err)
+			}
+		}
+		snap, err := l.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sorted := true
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1] >= snap[i] {
+				sorted = false
+			}
+		}
+		fmt.Printf("%-6s %d elements after removals, sorted=%v, first=%v\n",
+			tc.name, len(snap), sorted, snap[:min(6, len(snap))])
+		if len(snap) != 100 || !sorted {
+			log.Fatalf("%s: expected 100 sorted even values", tc.name)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

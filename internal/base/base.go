@@ -1,0 +1,157 @@
+// Package base provides the base shared objects on which the STM engines
+// of this repository are built, instrumented with the step-counting cost
+// model of the paper's §6.1: "in a single step, a process issues a single
+// instruction on a single base shared object".
+//
+// Every load, store, CAS or fetch-and-add on a base object increments the
+// StepCounter passed to it, making the Ω(k) lower bound of Theorem 3 and
+// the Θ(k)/O(1) upper bounds of the engine archetypes directly
+// measurable. Purely transaction-local work (read-set and write-set
+// bookkeeping in the transaction descriptor) deliberately does not count:
+// the paper's complexity metric counts instructions on base *shared*
+// objects.
+//
+// A nil *StepCounter is valid everywhere and counts nothing, so the same
+// engine code serves both instrumented benchmarks and uninstrumented
+// throughput runs.
+package base
+
+import "sync/atomic"
+
+// StepCounter accumulates the number of base-object steps executed on
+// behalf of one transaction. It is owned by a single goroutine (the
+// process executing the transaction) and is not safe for concurrent use;
+// a nil counter discards counts.
+type StepCounter struct {
+	n int64
+}
+
+// Step records one base-object instruction.
+func (c *StepCounter) Step() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Count returns the number of steps recorded so far.
+func (c *StepCounter) Count() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Reset zeroes the counter.
+func (c *StepCounter) Reset() {
+	if c != nil {
+		c.n = 0
+	}
+}
+
+// Word is a base shared object holding a pointer to a value of type T,
+// supporting atomic load, store and compare-and-swap. STM engines use
+// Words for object metadata (locators, version records) and object
+// values.
+type Word[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// Load atomically reads the word (one step).
+func (w *Word[T]) Load(c *StepCounter) *T {
+	c.Step()
+	return w.p.Load()
+}
+
+// Store atomically writes the word (one step).
+func (w *Word[T]) Store(c *StepCounter, v *T) {
+	c.Step()
+	w.p.Store(v)
+}
+
+// CAS atomically replaces old with new if the word still holds old
+// (pointer identity); one step regardless of outcome.
+func (w *Word[T]) CAS(c *StepCounter, old, new *T) bool {
+	c.Step()
+	return w.p.CompareAndSwap(old, new)
+}
+
+// U64 is a base shared object holding a 64-bit unsigned integer — the
+// shape of global version clocks and versioned lock words.
+type U64 struct {
+	v atomic.Uint64
+}
+
+// Load atomically reads the value (one step).
+func (u *U64) Load(c *StepCounter) uint64 {
+	c.Step()
+	return u.v.Load()
+}
+
+// Store atomically writes the value (one step).
+func (u *U64) Store(c *StepCounter, x uint64) {
+	c.Step()
+	u.v.Store(x)
+}
+
+// Add atomically adds delta and returns the new value (one step).
+func (u *U64) Add(c *StepCounter, delta uint64) uint64 {
+	c.Step()
+	return u.v.Add(delta)
+}
+
+// CAS atomically replaces old with new if the value is still old; one
+// step regardless of outcome.
+func (u *U64) CAS(c *StepCounter, old, new uint64) bool {
+	c.Step()
+	return u.v.CompareAndSwap(old, new)
+}
+
+// I64 is a base shared object holding a 64-bit signed integer — used for
+// register values in value-logging engines.
+type I64 struct {
+	v atomic.Int64
+}
+
+// Load atomically reads the value (one step).
+func (i *I64) Load(c *StepCounter) int64 {
+	c.Step()
+	return i.v.Load()
+}
+
+// Store atomically writes the value (one step).
+func (i *I64) Store(c *StepCounter, x int64) {
+	c.Step()
+	i.v.Store(x)
+}
+
+// CAS atomically replaces old with new if the value is still old; one
+// step regardless of outcome.
+func (i *I64) CAS(c *StepCounter, old, new int64) bool {
+	c.Step()
+	return i.v.CompareAndSwap(old, new)
+}
+
+// I32 is a base shared object holding a 32-bit signed integer — the shape
+// of transaction status words.
+type I32 struct {
+	v atomic.Int32
+}
+
+// Load atomically reads the value (one step).
+func (i *I32) Load(c *StepCounter) int32 {
+	c.Step()
+	return i.v.Load()
+}
+
+// Store atomically writes the value (one step).
+func (i *I32) Store(c *StepCounter, x int32) {
+	c.Step()
+	i.v.Store(x)
+}
+
+// CAS atomically replaces old with new if the value is still old; one
+// step regardless of outcome.
+func (i *I32) CAS(c *StepCounter, old, new int32) bool {
+	c.Step()
+	return i.v.CompareAndSwap(old, new)
+}

@@ -1,0 +1,142 @@
+package base
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStepCounter(t *testing.T) {
+	var c StepCounter
+	if c.Count() != 0 {
+		t.Error("fresh counter must be zero")
+	}
+	c.Step()
+	c.Step()
+	if c.Count() != 2 {
+		t.Errorf("Count = %d, want 2", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Error("Reset must zero the counter")
+	}
+}
+
+func TestNilStepCounter(t *testing.T) {
+	var c *StepCounter
+	c.Step() // must not panic
+	c.Reset()
+	if c.Count() != 0 {
+		t.Error("nil counter counts nothing")
+	}
+	var w Word[int]
+	v := 7
+	w.Store(nil, &v)
+	if *w.Load(nil) != 7 {
+		t.Error("nil counter must not affect the operation")
+	}
+}
+
+func TestWordCAS(t *testing.T) {
+	var c StepCounter
+	var w Word[string]
+	a, b := "a", "b"
+	w.Store(&c, &a)
+	if !w.CAS(&c, &a, &b) {
+		t.Error("CAS from current pointer must succeed")
+	}
+	if w.CAS(&c, &a, &b) {
+		t.Error("CAS from stale pointer must fail")
+	}
+	if *w.Load(&c) != "b" {
+		t.Error("CAS must install the new pointer")
+	}
+	if c.Count() != 4 {
+		t.Errorf("store+2cas+load = 4 steps, got %d", c.Count())
+	}
+}
+
+func TestU64(t *testing.T) {
+	var c StepCounter
+	var u U64
+	u.Store(&c, 5)
+	if u.Add(&c, 3) != 8 {
+		t.Error("Add must return the new value")
+	}
+	if !u.CAS(&c, 8, 9) || u.CAS(&c, 8, 10) {
+		t.Error("CAS semantics wrong")
+	}
+	if u.Load(&c) != 9 {
+		t.Error("Load after CAS")
+	}
+	if c.Count() != 5 {
+		t.Errorf("5 operations = 5 steps, got %d", c.Count())
+	}
+}
+
+func TestI64I32(t *testing.T) {
+	var c StepCounter
+	var i I64
+	i.Store(&c, -3)
+	if i.Load(&c) != -3 {
+		t.Error("I64 round trip")
+	}
+	if !i.CAS(&c, -3, 4) {
+		t.Error("I64 CAS")
+	}
+	var s I32
+	s.Store(&c, 1)
+	if !s.CAS(&c, 1, 2) || s.CAS(&c, 1, 3) {
+		t.Error("I32 CAS semantics")
+	}
+	if s.Load(&c) != 2 {
+		t.Error("I32 value")
+	}
+}
+
+func TestWordConcurrentCAS(t *testing.T) {
+	// Many goroutines CAS-increment a shared counter through a Word;
+	// exactly one per round may win.
+	var w Word[int]
+	zero := 0
+	w.Store(nil, &zero)
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					cur := w.Load(nil)
+					next := *cur + 1
+					if w.CAS(nil, cur, &next) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := *w.Load(nil); got != goroutines*rounds {
+		t.Errorf("lost updates: %d, want %d", got, goroutines*rounds)
+	}
+}
+
+func TestU64ConcurrentAdd(t *testing.T) {
+	var u U64
+	const goroutines, rounds = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				u.Add(nil, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if u.Load(nil) != goroutines*rounds {
+		t.Errorf("Add lost updates: %d", u.Load(nil))
+	}
+}

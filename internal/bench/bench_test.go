@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTheorem3Shape is experiment E9 as an assertion: per-operation step
+// cost must grow linearly in k for the progressive single-version
+// invisible-read engine (dstm) and stay flat (or k-independent) for every
+// escape hatch the paper lists.
+func TestTheorem3Shape(t *testing.T) {
+	const kSmall, kBig = 32, 256 // 8× object count
+	for _, e := range Engines() {
+		small, err := StepsForNextRead(e, kSmall)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		big, err := StepsForNextRead(e, kBig)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		ratio := float64(big) / float64(small)
+		if e.Name == "dstm" || e.Name == "tl2x" {
+			// Linear growth in the conflict scenario: dstm validates on
+			// every operation, tl2x pays the same Θ(r) cost as a
+			// snapshot extension when the conflict actually hits.
+			if ratio < 4 {
+				t.Errorf("%s: steps %d→%d (ratio %.1f); expected Ω(k) growth", e.Name, small, big, ratio)
+			}
+			if big < int64(kBig)/2 {
+				t.Errorf("%s: %d steps at k=%d; expected ≥ k/2", e.Name, big, kBig)
+			}
+		} else {
+			// O(1) or k-independent: ratio must stay near 1.
+			if ratio > 2 {
+				t.Errorf("%s: steps %d→%d (ratio %.1f); expected k-independent cost", e.Name, small, big, ratio)
+			}
+		}
+	}
+}
+
+// TestTightnessQuadratic is experiment E10: a full k-object scan costs
+// Θ(k²) on dstm and Θ(k) on the O(1)-per-op engines.
+func TestTightnessQuadratic(t *testing.T) {
+	const kSmall, kBig = 32, 128 // 4× object count
+	for _, e := range Engines() {
+		small, err := FullScanSteps(e, kSmall)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		big, err := FullScanSteps(e, kBig)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		ratio := float64(big) / float64(small)
+		if e.Name == "dstm" {
+			// Quadratic: 4× objects ⇒ ≈16× steps. (tl2x stays linear on
+			// a conflict-free scan — its Θ(r) cost is conditional.)
+			if ratio < 8 {
+				t.Errorf("dstm: scan %d→%d (ratio %.1f); expected Θ(k²)", small, big, ratio)
+			}
+		} else {
+			// Linear total: 4× objects ⇒ ≈4× steps.
+			if ratio > 6 {
+				t.Errorf("%s: scan %d→%d (ratio %.1f); expected Θ(k)", e.Name, small, big, ratio)
+			}
+		}
+	}
+}
+
+// TestNonProgressiveAbortInScenario documents E11: in the Theorem 3
+// scenario TL2's measured operation is an abort (conflict with a
+// completed transaction), while dstm's read succeeds.
+func TestNonProgressiveAbortInScenario(t *testing.T) {
+	// Run the scenario manually for the two engines.
+	run := func(name string) (aborted bool) {
+		e, err := EngineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 16
+		tm := e.New(k)
+		t1 := tm.Begin()
+		for i := 0; i < k/2; i++ {
+			if _, err := t1.Read(i); err != nil {
+				t.Fatalf("%s: priming read aborted", name)
+			}
+		}
+		t2 := tm.Begin()
+		if err := t2.Write(k-1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := t2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		_, err = t1.Read(k - 1)
+		t1.Abort()
+		return err != nil
+	}
+	if run("tl2") != true {
+		t.Error("tl2 must abort the reader (not progressive)")
+	}
+	if run("dstm") != false {
+		t.Error("dstm must serve the read (progressive: no live conflict)")
+	}
+	if run("mvstm") != false {
+		t.Error("mvstm must serve the old snapshot")
+	}
+	if run("gatm") != false {
+		t.Error("gatm must serve the (zombie) read")
+	}
+	if run("sistm") != false {
+		t.Error("sistm must serve the old snapshot")
+	}
+}
+
+func TestEngineDescriptors(t *testing.T) {
+	es := Engines()
+	if len(es) != 7 {
+		t.Fatalf("%d engines, want 7", len(es))
+	}
+	names := map[string]Engine{}
+	for _, e := range es {
+		names[e.Name] = e
+		tm := e.New(4)
+		if tm.Len() != 4 {
+			t.Errorf("%s: Len=%d", e.Name, tm.Len())
+		}
+		if !strings.Contains(tm.Name(), e.Name) {
+			t.Errorf("descriptor %q vs engine %q", e.Name, tm.Name())
+		}
+	}
+	// The lower bound triple: only dstm has all three properties (and is
+	// opaque); every other engine negates at least one.
+	d := names["dstm"]
+	if !(d.SingleVersion && d.InvisibleReads && d.Progressive && d.Opaque) {
+		t.Error("dstm must have all three lower-bound properties and opacity")
+	}
+	for name, e := range names {
+		if name == "dstm" {
+			continue
+		}
+		if e.SingleVersion && e.InvisibleReads && e.Progressive && e.Opaque {
+			t.Errorf("%s claims all lower-bound properties; Theorem 3 says its ops cannot be o(k)", name)
+		}
+	}
+	if _, err := EngineByName("nope"); err == nil {
+		t.Error("unknown engine must error")
+	}
+}
+
+func TestStepsForNextReadValidation(t *testing.T) {
+	e, _ := EngineByName("dstm")
+	if _, err := StepsForNextRead(e, 1); err == nil {
+		t.Error("k<2 must be rejected")
+	}
+}
+
+func TestManagedEngine(t *testing.T) {
+	if len(Managers()) != 4 {
+		t.Fatalf("%d managers, want 4", len(Managers()))
+	}
+	for _, engine := range []string{"dstm", "vstm"} {
+		for _, mgr := range Managers() {
+			e, err := ManagedEngine(engine, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Name != engine+"/"+mgr.Name() {
+				t.Errorf("descriptor name %q", e.Name)
+			}
+			// Smoke: the managed engine works end to end.
+			r := Throughput(e, 8, 2, 10, 3, 0.5)
+			if r.Commits != 20 {
+				t.Errorf("%s: commits=%d", e.Name, r.Commits)
+			}
+		}
+	}
+	if _, err := ManagedEngine("tl2", Managers()[0]); err == nil {
+		t.Error("tl2 takes no contention manager")
+	}
+	if _, err := ManagedEngine("nope", Managers()[0]); err == nil {
+		t.Error("unknown engine must error")
+	}
+}
+
+func TestFullScanStepsErrorPaths(t *testing.T) {
+	// An engine whose reads abort must surface an error from the scan.
+	e, _ := EngineByName("tl2")
+	// Normal path first.
+	if _, err := FullScanSteps(e, 4); err != nil {
+		t.Fatalf("clean scan errored: %v", err)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	for _, e := range Engines() {
+		tm := e.New(2)
+		if tm.Name() == "" {
+			t.Errorf("%s: empty engine name", e.Name)
+		}
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	for _, e := range Engines() {
+		r := Throughput(e, 32, 4, 20, 4, 0.9)
+		if r.Commits != 4*20 {
+			t.Errorf("%s: commits=%d", e.Name, r.Commits)
+		}
+		if r.OpsPerSec() <= 0 {
+			t.Errorf("%s: nonpositive throughput", e.Name)
+		}
+		if r.AbortRate() < 0 || r.AbortRate() >= 1 {
+			t.Errorf("%s: abort rate %f", e.Name, r.AbortRate())
+		}
+	}
+	var zero ThroughputResult
+	if zero.OpsPerSec() != 0 || zero.AbortRate() != 0 {
+		t.Error("zero-value result accessors")
+	}
+}

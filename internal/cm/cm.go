@@ -1,0 +1,185 @@
+// Package cm implements contention managers for the progressive STM
+// engines (dstm, vstm). A contention manager decides, when transaction
+// "self" finds object ownership held by live transaction "other", whether
+// to abort the other transaction, abort itself, or back off and retry.
+//
+// The paper's lower bound (§6) requires progressiveness: a transaction is
+// forcefully aborted only upon a conflict with a concurrent live
+// transaction. Every decision a Manager can return preserves that — the
+// victim (self or other) is always one of the two live conflicting
+// transactions. The managers here are the classic policies from the
+// DSTM/SXM line of work the paper cites: Aggressive, Polite, Karma and
+// Greedy (timestamp).
+package cm
+
+import "sync/atomic"
+
+// Decision is a contention-resolution verdict.
+type Decision int
+
+const (
+	// AbortOther: kill the conflicting transaction and take the object.
+	AbortOther Decision = iota
+	// AbortSelf: abort the requesting transaction.
+	AbortSelf
+	// Wait: back off and re-evaluate; the engine re-invokes the manager
+	// with an incremented attempt count, so Wait-ing managers must
+	// eventually pick a victim.
+	Wait
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case AbortOther:
+		return "abort-other"
+	case AbortSelf:
+		return "abort-self"
+	case Wait:
+		return "wait"
+	default:
+		return "unknown"
+	}
+}
+
+// Info is the per-transaction state a manager consults. Engines create
+// one Info per transaction attempt via NewInfo.
+type Info struct {
+	// ID is unique per transaction attempt.
+	ID uint64
+	// Birth is a logical begin timestamp (global order of Begin calls).
+	Birth uint64
+	// Opens counts objects opened (read or written) by the transaction —
+	// the "investment" used by Karma.
+	Opens int64
+	// Attempts counts how many consecutive times the engine has asked
+	// about the same conflict; managers use it to bound waiting.
+	Attempts int
+}
+
+var infoSeq atomic.Uint64
+
+// NewInfo allocates an Info with a fresh ID and Birth timestamp.
+func NewInfo() *Info {
+	n := infoSeq.Add(1)
+	return &Info{ID: n, Birth: n}
+}
+
+// Opened records that the transaction opened one more object.
+func (i *Info) Opened() { atomic.AddInt64(&i.Opens, 1) }
+
+// Investment returns the accumulated opens (Karma priority).
+func (i *Info) Investment() int64 { return atomic.LoadInt64(&i.Opens) }
+
+// Manager decides conflicts between live transactions.
+type Manager interface {
+	// Name identifies the policy.
+	Name() string
+	// Resolve decides a conflict in which self wants an object owned by
+	// other. Engines call it repeatedly (with self.Attempts incremented)
+	// while it returns Wait.
+	Resolve(self, other *Info) Decision
+}
+
+// Aggressive always aborts the other transaction. Simple, deterministic,
+// obstruction-free; the default for tests that script interleavings.
+type Aggressive struct{}
+
+// Name implements Manager.
+func (Aggressive) Name() string { return "aggressive" }
+
+// Resolve implements Manager: the attacker always wins.
+func (Aggressive) Resolve(self, other *Info) Decision { return AbortOther }
+
+// Suicidal always aborts the requesting transaction — the dual of
+// Aggressive, useful in tests that need the attacker to lose.
+type Suicidal struct{}
+
+// Name implements Manager.
+func (Suicidal) Name() string { return "suicidal" }
+
+// Resolve implements Manager: the attacker always yields.
+func (Suicidal) Resolve(self, other *Info) Decision { return AbortSelf }
+
+// Polite backs off a bounded number of times, giving the owner a chance
+// to finish, then aborts it.
+type Polite struct {
+	// MaxSpins bounds the Wait decisions before escalating; 0 means the
+	// default of 4.
+	MaxSpins int
+}
+
+// Name implements Manager.
+func (p Polite) Name() string { return "polite" }
+
+// Resolve implements Manager: wait a bounded number of attempts, then
+// abort the owner.
+func (p Polite) Resolve(self, other *Info) Decision {
+	max := p.MaxSpins
+	if max == 0 {
+		max = 4
+	}
+	if self.Attempts < max {
+		return Wait
+	}
+	return AbortOther
+}
+
+// Karma compares investments (objects opened): the richer transaction
+// wins; ties favour the attacker after patience runs out.
+type Karma struct {
+	// MaxSpins bounds waiting when the owner is richer; 0 means 3.
+	MaxSpins int
+}
+
+// Name implements Manager.
+func (k Karma) Name() string { return "karma" }
+
+// Resolve implements Manager.
+func (k Karma) Resolve(self, other *Info) Decision {
+	max := k.MaxSpins
+	if max == 0 {
+		max = 3
+	}
+	if self.Investment() >= other.Investment() {
+		return AbortOther
+	}
+	if self.Attempts < max {
+		return Wait
+	}
+	// Persistently poorer: yield, keeping the system progressive.
+	return AbortSelf
+}
+
+// Greedy implements the timestamp policy: the older transaction (smaller
+// Birth) wins; the younger one aborts itself. Guarantees that the oldest
+// live transaction is never the victim, hence freedom from livelock.
+type Greedy struct{}
+
+// Name implements Manager.
+func (Greedy) Name() string { return "greedy" }
+
+// Resolve implements Manager.
+func (Greedy) Resolve(self, other *Info) Decision {
+	if self.Birth < other.Birth {
+		return AbortOther
+	}
+	return AbortSelf
+}
+
+// ByName returns the manager registered under name, defaulting to
+// Aggressive for unknown names.
+func ByName(name string) Manager {
+	switch name {
+	case "polite":
+		return Polite{}
+	case "karma":
+		return Karma{}
+	case "greedy":
+		return Greedy{}
+	case "suicidal":
+		return Suicidal{}
+	default:
+		return Aggressive{}
+	}
+}

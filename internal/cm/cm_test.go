@@ -1,0 +1,113 @@
+package cm
+
+import "testing"
+
+func TestAggressive(t *testing.T) {
+	m := Aggressive{}
+	if m.Resolve(NewInfo(), NewInfo()) != AbortOther {
+		t.Error("aggressive must always abort the other")
+	}
+	if m.Name() != "aggressive" {
+		t.Error("name")
+	}
+}
+
+func TestSuicidal(t *testing.T) {
+	if (Suicidal{}).Resolve(NewInfo(), NewInfo()) != AbortSelf {
+		t.Error("suicidal must always abort self")
+	}
+}
+
+func TestPoliteEscalates(t *testing.T) {
+	m := Polite{MaxSpins: 3}
+	self, other := NewInfo(), NewInfo()
+	for i := 0; i < 3; i++ {
+		self.Attempts = i
+		if d := m.Resolve(self, other); d != Wait {
+			t.Fatalf("attempt %d: got %v, want wait", i, d)
+		}
+	}
+	self.Attempts = 3
+	if d := m.Resolve(self, other); d != AbortOther {
+		t.Errorf("after patience: got %v, want abort-other", d)
+	}
+	// Default spins.
+	d := Polite{}
+	self.Attempts = 0
+	if d.Resolve(self, other) != Wait {
+		t.Error("default polite must wait at first")
+	}
+	self.Attempts = 100
+	if d.Resolve(self, other) != AbortOther {
+		t.Error("default polite must eventually escalate")
+	}
+}
+
+func TestKarmaInvestment(t *testing.T) {
+	m := Karma{MaxSpins: 2}
+	rich, poor := NewInfo(), NewInfo()
+	for i := 0; i < 5; i++ {
+		rich.Opened()
+	}
+	poor.Opened()
+	if m.Resolve(rich, poor) != AbortOther {
+		t.Error("richer attacker must win")
+	}
+	poor.Attempts = 0
+	if m.Resolve(poor, rich) != Wait {
+		t.Error("poorer attacker must wait first")
+	}
+	poor.Attempts = 2
+	if m.Resolve(poor, rich) != AbortSelf {
+		t.Error("persistently poorer attacker must yield")
+	}
+	if rich.Investment() != 5 {
+		t.Errorf("investment = %d", rich.Investment())
+	}
+}
+
+func TestGreedySeniority(t *testing.T) {
+	older := NewInfo()
+	younger := NewInfo()
+	if older.Birth >= younger.Birth {
+		t.Fatal("NewInfo must hand out increasing birth timestamps")
+	}
+	m := Greedy{}
+	if m.Resolve(older, younger) != AbortOther {
+		t.Error("older attacker wins")
+	}
+	if m.Resolve(younger, older) != AbortSelf {
+		t.Error("younger attacker yields")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"aggressive", "polite", "karma", "greedy", "suicidal"} {
+		if got := ByName(name).Name(); got != name {
+			t.Errorf("ByName(%q).Name() = %q", name, got)
+		}
+	}
+	if ByName("bogus").Name() != "aggressive" {
+		t.Error("unknown names default to aggressive")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if AbortOther.String() != "abort-other" || AbortSelf.String() != "abort-self" || Wait.String() != "wait" {
+		t.Error("decision names")
+	}
+	if Decision(99).String() != "unknown" {
+		t.Error("unknown decision")
+	}
+}
+
+func TestInfoIDsUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewInfo().ID
+		if seen[id] {
+			t.Fatal("duplicate info id")
+		}
+		seen[id] = true
+	}
+}

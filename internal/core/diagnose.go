@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"otm/internal/history"
+)
+
+// Diagnosis explains why a history is not opaque, in terms a TM
+// implementer can act on: where the violation first became observable
+// and which transactions are implicated.
+type Diagnosis struct {
+	// Opaque mirrors the checker verdict; the remaining fields are
+	// meaningful only when it is false.
+	Opaque bool
+	// PrefixLen is the length of the shortest non-opaque prefix; the
+	// violation became observable when event Culprit (the last event of
+	// that prefix) was issued.
+	PrefixLen int
+	Culprit   history.Event
+	// Implicated lists the transactions whose removal (alone) from the
+	// offending prefix restores opacity — the minimal players of the
+	// conflict. It may be empty when no single transaction is
+	// responsible.
+	Implicated []history.TxID
+}
+
+// String renders the diagnosis for humans.
+func (d Diagnosis) String() string {
+	if d.Opaque {
+		return "opaque"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "not opaque: first observable at event %d (%s)", d.PrefixLen-1, d.Culprit)
+	if len(d.Implicated) > 0 {
+		parts := make([]string, len(d.Implicated))
+		for i, tx := range d.Implicated {
+			parts[i] = fmt.Sprintf("T%d", int(tx))
+		}
+		fmt.Fprintf(&b, "; removing any of {%s} restores opacity", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// RemoveTx returns h with every event of tx removed.
+func RemoveTx(h history.History, tx history.TxID) history.History {
+	var out history.History
+	for _, e := range h {
+		if e.Tx != tx {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Diagnose locates the first non-opaque prefix of h and identifies the
+// implicated transactions. It returns an error for malformed histories
+// or search exhaustion.
+func Diagnose(h history.History, cfg Config) (Diagnosis, error) {
+	n, err := FirstNonOpaquePrefix(h, cfg)
+	if err != nil {
+		return Diagnosis{}, err
+	}
+	if n == -1 {
+		return Diagnosis{Opaque: true, PrefixLen: -1}, nil
+	}
+	d := Diagnosis{PrefixLen: n, Culprit: h[n-1]}
+	prefix := h[:n]
+	for _, tx := range prefix.Transactions() {
+		r, err := Check(RemoveTx(prefix, tx), cfg)
+		if err != nil {
+			return d, fmt.Errorf("diagnosing without T%d: %w", int(tx), err)
+		}
+		if r.Opaque {
+			d.Implicated = append(d.Implicated, tx)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"otm/internal/history"
+)
+
+func TestDiagnoseFigure1(t *testing.T) {
+	d, err := Diagnose(figure1(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Opaque {
+		t.Fatal("H1 is not opaque")
+	}
+	// The violation becomes observable at T2's read of y returning 2.
+	if d.Culprit.Kind != history.KindRet || d.Culprit.Tx != 2 || d.Culprit.Obj != "y" {
+		t.Errorf("culprit = %v, want T2's ret on y", d.Culprit)
+	}
+	// Removing T2 (the inconsistent reader) restores opacity; so does
+	// removing T1 or T3 (either write makes the snapshot consistent).
+	found := map[history.TxID]bool{}
+	for _, tx := range d.Implicated {
+		found[tx] = true
+	}
+	if !found[2] {
+		t.Errorf("T2 must be implicated; got %v", d.Implicated)
+	}
+	s := d.String()
+	if !strings.Contains(s, "not opaque") || !strings.Contains(s, "T2") {
+		t.Errorf("diagnosis string %q", s)
+	}
+}
+
+func TestDiagnoseOpaque(t *testing.T) {
+	d, err := Diagnose(figure2(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Opaque || d.String() != "opaque" {
+		t.Errorf("diagnosis = %+v", d)
+	}
+}
+
+func TestDiagnoseMalformed(t *testing.T) {
+	if _, err := Diagnose(history.History{history.Commit(1)}, Config{}); err == nil {
+		t.Error("malformed history must error")
+	}
+}
+
+func TestRemoveTx(t *testing.T) {
+	h := figure1()
+	h2 := RemoveTx(h, 2)
+	if h2.Contains(2) {
+		t.Error("T2 events must be gone")
+	}
+	if len(h2) != len(h)-len(h.Sub(2)) {
+		t.Error("only T2's events may be removed")
+	}
+	// Without the inconsistent reader, H1 becomes opaque.
+	r, err := Opaque(h2)
+	if err != nil || !r.Opaque {
+		t.Errorf("H1 minus T2 must be opaque: %v %v", r.Opaque, err)
+	}
+}

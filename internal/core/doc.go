@@ -1,0 +1,38 @@
+// Package core implements opacity, the TM correctness criterion of
+// Guerraoui & Kapałka, "On the Correctness of Transactional Memory"
+// (PPoPP 2008) — the paper's primary contribution.
+//
+// Definition 1 of the paper: a history H is opaque if there exists a
+// sequential history S equivalent to some history in Complete(H), such
+// that (1) S preserves the real-time order of H, and (2) every
+// transaction Ti ∈ S is legal in S.
+//
+// The package provides:
+//
+//   - Legality of transactions in complete sequential histories (§4,
+//     "Legal histories and transactions"), parameterized by the
+//     sequential specifications of the shared objects (package
+//     internal/spec) — opacity is defined for arbitrary objects, not just
+//     read/write registers.
+//
+//   - Opaque, a decision procedure implementing Definition 1 directly: it
+//     searches over the completions Complete(H) (each commit-pending
+//     transaction may be committed or aborted) and over all serializations
+//     consistent with the real-time order ≺H, with incremental legality
+//     pruning and memoization on (placed-transaction set, object states).
+//     On success it returns a Witness — the completion and serialization
+//     order demonstrating opacity; on failure, a proof-of-search
+//     exhaustion. Deciding opacity is NP-hard in general (it subsumes
+//     view-serializability), so the procedure is exponential in the worst
+//     case; the pruning makes it fast on the history sizes produced by
+//     tests, fuzzing and recorded STM runs.
+//
+//   - FirstNonOpaquePrefix, an "online" view: TM histories are generated
+//     progressively and every prefix observed by the application must
+//     itself be opaque (the set of opaque histories is not prefix-closed,
+//     as §5.2 notes, but a correct TM never shows a non-opaque prefix).
+//
+// The graph characterization of opacity (Theorem 2) lives in
+// internal/opg; the weaker criteria it is compared against in §3 live in
+// internal/criteria.
+package core

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// replayTx replays the operation executions of one transaction on top of
+// the given object states. It returns the updated states and true if
+// every completed operation execution is accepted by the object's
+// sequential specification; pending invocations at the end of a
+// transaction are always legal (Seq(ob) contains every sequence of the
+// specification ending with a pending invocation, §4). Objects missing
+// from objs default to an integer register initialized to 0.
+//
+// The input map is never mutated: states are immutable and the map is
+// copied on first write.
+func replayTx(states spec.Objects, execs []history.OpExec) (spec.Objects, bool) {
+	cur := states
+	copied := false
+	for _, e := range execs {
+		if e.Pending {
+			continue
+		}
+		st, ok := cur[e.Obj]
+		if !ok {
+			st = spec.NewRegister(0)
+		}
+		next, legal := st.Step(e.Op, e.Arg, e.Ret)
+		if !legal {
+			return nil, false
+		}
+		if !copied {
+			cur = cur.Clone()
+			copied = true
+		}
+		cur[e.Obj] = next
+	}
+	return cur, true
+}
+
+// TxLegal reports whether transaction tx is legal in the complete
+// sequential history s (paper, §4): the largest subsequence of s
+// consisting of tx itself plus every committed transaction preceding tx
+// must be a legal history, i.e. respect the sequential specification of
+// every object. objs gives the initial object states; objects not listed
+// default to integer registers initialized to 0.
+func TxLegal(s history.History, tx history.TxID, objs spec.Objects) bool {
+	states := objs
+	if states == nil {
+		states = spec.Objects{}
+	}
+	for _, other := range s.Transactions() {
+		if other == tx {
+			break
+		}
+		if !s.Committed(other) {
+			continue
+		}
+		var ok bool
+		states, ok = replayTx(states, s.OpExecs(other))
+		if !ok {
+			return false
+		}
+	}
+	_, ok := replayTx(states, s.OpExecs(tx))
+	return ok
+}
+
+// AllLegal reports whether every transaction in the complete sequential
+// history s is legal in s — condition (2) of Definition 1. It returns the
+// first illegal transaction when the check fails.
+func AllLegal(s history.History, objs spec.Objects) (history.TxID, bool) {
+	if !s.Sequential() {
+		panic("core: AllLegal requires a sequential history")
+	}
+	states := objs
+	if states == nil {
+		states = spec.Objects{}
+	}
+	for _, tx := range s.Transactions() {
+		next, ok := replayTx(states, s.OpExecs(tx))
+		if !ok {
+			return tx, false
+		}
+		if s.Committed(tx) {
+			states = next
+		}
+	}
+	return 0, true
+}
+
+// stateKey returns a canonical fingerprint of a set of object states,
+// used for memoizing the opacity search. ids must be the sorted object
+// identifiers of the history being checked.
+func stateKey(states spec.Objects, ids []history.ObjID) string {
+	out := ""
+	for _, id := range ids {
+		st, ok := states[id]
+		if !ok {
+			out += string(id) + "=?;"
+			continue
+		}
+		out += string(id) + "=" + st.Key() + ";"
+	}
+	return out
+}
+
+// sortedObjects returns the object ids of h in sorted order.
+func sortedObjects(h history.History) []history.ObjID {
+	ids := h.Objects()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// buildSequential concatenates the per-transaction projections of hc in
+// the given order, producing the sequential history S of a witness.
+func buildSequential(hc history.History, order []history.TxID) history.History {
+	var s history.History
+	for _, tx := range order {
+		s = append(s, hc.Sub(tx)...)
+	}
+	return s
+}
+
+func txIndex(txs []history.TxID) map[history.TxID]int {
+	idx := make(map[history.TxID]int, len(txs))
+	for i, tx := range txs {
+		idx[tx] = i
+	}
+	return idx
+}
+
+func fmtOrder(order []history.TxID) string {
+	s := ""
+	for i, tx := range order {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("T%d", int(tx))
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package core
+
+// Opacity over arbitrary objects (§3.4's motivation: the criterion takes
+// the objects' sequential specifications as an input parameter). These
+// tests exercise the checker with queues, sets, stacks and CAS registers
+// — operations that are neither read-only nor write-only and whose
+// return values constrain serialization.
+
+import (
+	"testing"
+
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+func TestQueueSerializationForcedByDeqOrder(t *testing.T) {
+	objs := spec.Objects{"q": spec.NewQueue()}
+	// T1 enqueues a, T2 enqueues b concurrently; T3 dequeues a then b:
+	// the deq order forces T1 before T2 — still opaque.
+	h := history.History{
+		history.Inv(1, "q", "enq", "a"),
+		history.Inv(2, "q", "enq", "b"),
+		history.Ret(1, "q", "enq", spec.OK),
+		history.Ret(2, "q", "enq", spec.OK),
+		history.TryC(1), history.Commit(1),
+		history.TryC(2), history.Commit(2),
+	}.MustWellFormed()
+	h3 := h.Append(
+		history.Inv(3, "q", "deq", nil), history.Ret(3, "q", "deq", "a"),
+		history.Inv(3, "q", "deq", nil), history.Ret(3, "q", "deq", "b"),
+		history.TryC(3), history.Commit(3),
+	).MustWellFormed()
+	if !IsOpaque(h3, objs) {
+		t.Error("deq order a,b matches serialization T1 T2 T3: opaque")
+	}
+	// Dequeuing b twice is impossible.
+	bad := h.Append(
+		history.Inv(3, "q", "deq", nil), history.Ret(3, "q", "deq", "b"),
+		history.Inv(3, "q", "deq", nil), history.Ret(3, "q", "deq", "b"),
+		history.TryC(3), history.Commit(3),
+	).MustWellFormed()
+	if IsOpaque(bad, objs) {
+		t.Error("an element cannot be dequeued twice")
+	}
+}
+
+func TestQueueEmptyDeqConstrainsOrder(t *testing.T) {
+	objs := spec.Objects{"q": spec.NewQueue()}
+	// T1 deqs empty; T2 enqueued and committed BEFORE T1 started: T1
+	// cannot have seen an empty queue.
+	h := history.NewBuilder().
+		Op(2, "q", "enq", "x", spec.OK).Commits(2).
+		Op(1, "q", "deq", nil, spec.Empty).Commits(1).
+		MustHistory()
+	if IsOpaque(h, objs) {
+		t.Error("deq->empty after a committed enq violates real-time order")
+	}
+	// Concurrent versions may serialize the deq first.
+	h2 := history.History{
+		history.Inv(1, "q", "deq", nil),
+		history.Inv(2, "q", "enq", "x"), history.Ret(2, "q", "enq", spec.OK),
+		history.TryC(2), history.Commit(2),
+		history.Ret(1, "q", "deq", spec.Empty),
+		history.TryC(1), history.Commit(1),
+	}.MustWellFormed()
+	if !IsOpaque(h2, objs) {
+		t.Error("concurrent deq->empty may serialize before the enq")
+	}
+}
+
+func TestSetInsertReturnValuesForceOrder(t *testing.T) {
+	objs := spec.Objects{"s": spec.NewSet()}
+	// Two concurrent insert(5): exactly one may return true.
+	mk := func(r1, r2 history.Value) history.History {
+		return history.History{
+			history.Inv(1, "s", "insert", 5),
+			history.Inv(2, "s", "insert", 5),
+			history.Ret(1, "s", "insert", r1),
+			history.Ret(2, "s", "insert", r2),
+			history.TryC(1), history.Commit(1),
+			history.TryC(2), history.Commit(2),
+		}.MustWellFormed()
+	}
+	if !IsOpaque(mk(true, false), objs) {
+		t.Error("first-wins insert outcome is opaque")
+	}
+	if !IsOpaque(mk(false, true), objs) {
+		t.Error("either order may win")
+	}
+	if IsOpaque(mk(true, true), objs) {
+		t.Error("both inserts returning true is impossible")
+	}
+	if IsOpaque(mk(false, false), objs) {
+		t.Error("both inserts returning false is impossible on an empty set")
+	}
+}
+
+func TestStackLIFOAcrossTransactions(t *testing.T) {
+	objs := spec.Objects{"st": spec.NewStack()}
+	h := history.NewBuilder().
+		Op(1, "st", "push", 1, spec.OK).Op(1, "st", "push", 2, spec.OK).Commits(1).
+		Op(2, "st", "pop", nil, 2).Op(2, "st", "pop", nil, 1).Commits(2).
+		MustHistory()
+	if !IsOpaque(h, objs) {
+		t.Error("LIFO pops are opaque")
+	}
+	bad := history.NewBuilder().
+		Op(1, "st", "push", 1, spec.OK).Op(1, "st", "push", 2, spec.OK).Commits(1).
+		Op(2, "st", "pop", nil, 1).Commits(2).
+		MustHistory()
+	if IsOpaque(bad, objs) {
+		t.Error("popping the bottom first violates LIFO")
+	}
+}
+
+func TestCASRegisterConditionalSemantics(t *testing.T) {
+	objs := spec.Objects{"c": spec.NewCASRegister(0)}
+	// Two concurrent cas(0→1) and cas(0→2): only one can succeed, and a
+	// reader pins which.
+	h := history.History{
+		history.Inv(1, "c", "cas", spec.CASArg{Old: 0, New: 1}),
+		history.Inv(2, "c", "cas", spec.CASArg{Old: 0, New: 2}),
+		history.Ret(1, "c", "cas", true),
+		history.Ret(2, "c", "cas", false),
+		history.TryC(1), history.Commit(1),
+		history.TryC(2), history.Commit(2),
+	}.MustWellFormed()
+	if !IsOpaque(h, objs) {
+		t.Error("one winning cas is opaque")
+	}
+	both := history.History{
+		history.Inv(1, "c", "cas", spec.CASArg{Old: 0, New: 1}),
+		history.Inv(2, "c", "cas", spec.CASArg{Old: 0, New: 2}),
+		history.Ret(1, "c", "cas", true),
+		history.Ret(2, "c", "cas", true),
+		history.TryC(1), history.Commit(1),
+		history.TryC(2), history.Commit(2),
+	}.MustWellFormed()
+	if IsOpaque(both, objs) {
+		t.Error("both cas(0→·) succeeding is impossible")
+	}
+	reader := h.Append(
+		history.Inv(3, "c", "read", nil), history.Ret(3, "c", "read", 1),
+		history.TryC(3), history.Commit(3),
+	).MustWellFormed()
+	if !IsOpaque(reader, objs) {
+		t.Error("reader must see the winner's value")
+	}
+	wrongReader := h.Append(
+		history.Inv(3, "c", "read", nil), history.Ret(3, "c", "read", 2),
+		history.TryC(3), history.Commit(3),
+	).MustWellFormed()
+	if IsOpaque(wrongReader, objs) {
+		t.Error("reader cannot see the loser's value")
+	}
+}
+
+func TestMixedObjectTypes(t *testing.T) {
+	objs := spec.Objects{
+		"q": spec.NewQueue(),
+		"c": spec.NewCounter(0),
+		"x": spec.NewRegister(0),
+	}
+	h := history.NewBuilder().
+		Op(1, "q", "enq", "job", spec.OK).
+		Op(1, "c", "inc", nil, spec.OK).
+		Write(1, "x", 7).Commits(1).
+		Op(2, "q", "deq", nil, "job").
+		Op(2, "c", "get", nil, 1).
+		Read(2, "x", 7).Commits(2).
+		MustHistory()
+	if !IsOpaque(h, objs) {
+		t.Error("mixed-object pipeline history is opaque")
+	}
+	// An aborted transaction's enq must stay invisible.
+	h2 := history.NewBuilder().
+		Op(1, "q", "enq", "ghost", spec.OK).Aborts(1).
+		Op(2, "q", "deq", nil, "ghost").Commits(2).
+		MustHistory()
+	if IsOpaque(h2, objs) {
+		t.Error("dequeuing an aborted transaction's element violates opacity")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// ErrSearchLimit is returned when the opacity search exceeds the
+// configured node budget before reaching a verdict.
+var ErrSearchLimit = errors.New("core: opacity search exceeded node limit")
+
+// Witness demonstrates that a history is opaque: Completion is the chosen
+// member of Complete(H), Order is the serialization of its transactions,
+// and Sequential is the resulting history S of Definition 1 (equivalent
+// to Completion, preserving ≺H, with every transaction legal).
+type Witness struct {
+	Completion history.History
+	Order      []history.TxID
+	Sequential history.History
+}
+
+// String renders the witness serialization order, e.g. "T2 T1 T3".
+func (w *Witness) String() string { return fmtOrder(w.Order) }
+
+// Result is the outcome of an opacity check.
+type Result struct {
+	// Opaque is the verdict.
+	Opaque bool
+	// Witness is non-nil iff Opaque: the certificate of Definition 1.
+	Witness *Witness
+	// Nodes is the number of search nodes explored (diagnostics).
+	Nodes int
+}
+
+// Config tunes the opacity decision procedure.
+type Config struct {
+	// Objects supplies the sequential specifications and initial states
+	// of the shared objects. Objects not listed (or a nil map) default to
+	// integer registers initialized to 0, matching the paper's examples.
+	Objects spec.Objects
+	// MaxNodes bounds the number of search nodes; 0 means the default
+	// (4,000,000). Exceeding the bound yields ErrSearchLimit.
+	MaxNodes int
+}
+
+const defaultMaxNodes = 4_000_000
+
+// Opaque decides Definition 1 for h with register objects initialized to
+// 0. It is shorthand for Check(h, Config{}).
+func Opaque(h history.History) (Result, error) {
+	return Check(h, Config{})
+}
+
+// Check decides whether h is opaque (Definition 1 of the paper):
+//
+//	∃ H' ∈ Complete(H), ∃ sequential S ≡ H' such that
+//	S preserves ≺H and every transaction in S is legal in S.
+//
+// The search enumerates completions lazily and serializations by
+// backtracking: a transaction may be appended to the partial order when
+// all its ≺H-predecessors have been placed and its operation executions
+// are legal on the object states produced by the committed transactions
+// placed so far. Failed search states are memoized by (completion,
+// placed-set, object-state fingerprint).
+//
+// Check returns an error if h is not well-formed or the node budget is
+// exhausted.
+func Check(h history.History, cfg Config) (Result, error) {
+	if err := h.WellFormed(); err != nil {
+		return Result{}, err
+	}
+
+	txs := h.Transactions()
+	if len(txs) == 0 {
+		return Result{Opaque: true, Witness: &Witness{}}, nil
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = defaultMaxNodes
+	}
+
+	// ≺H is the real-time order of the *original* history h: Definition 1
+	// requires S to preserve the real-time order of H, not of the
+	// completion.
+	preds := h.RealTimeOrder()
+
+	res := Result{}
+	var found *Witness
+	var searchErr error
+
+	h.EachCompletion(func(hc history.History) bool {
+		order, ok, err := FindSerialization(SerializeOptions{
+			Source:    hc,
+			Txs:       txs,
+			Committed: func(tx history.TxID) bool { return hc.Committed(tx) },
+			Preds:     preds,
+			Objects:   cfg.Objects,
+			MaxNodes:  maxNodes,
+			Nodes:     &res.Nodes,
+		})
+		if err != nil {
+			searchErr = err
+			return false
+		}
+		if ok {
+			found = &Witness{
+				Completion: hc,
+				Order:      order,
+				Sequential: buildSequential(hc, order),
+			}
+			return false // stop enumerating completions
+		}
+		return true
+	})
+
+	if found != nil {
+		res.Opaque = true
+		res.Witness = found
+		return res, nil
+	}
+	if searchErr != nil {
+		return res, searchErr
+	}
+	return res, nil
+}
+
+// IsOpaque is a convenience wrapper returning only the verdict; it panics
+// on malformed histories or search exhaustion. Intended for tests and
+// examples where such conditions are programming errors.
+func IsOpaque(h history.History, objs spec.Objects) bool {
+	r, err := Check(h, Config{Objects: objs})
+	if err != nil {
+		panic(err)
+	}
+	return r.Opaque
+}
+
+// FirstNonOpaquePrefix returns the length of the shortest prefix of h
+// that is not opaque, or -1 if every prefix is opaque. A correct TM
+// generates its history progressively and every prefix the application
+// can observe must be opaque; this is the "online" view of opacity used
+// to validate recorded STM runs. Prefixes are checked at response-event
+// boundaries (an invocation alone cannot create a violation that its
+// response does not).
+func FirstNonOpaquePrefix(h history.History, cfg Config) (int, error) {
+	for i := 1; i <= len(h); i++ {
+		if i < len(h) && h[i-1].Kind.Invocation() {
+			continue
+		}
+		r, err := Check(h[:i], cfg)
+		if err != nil {
+			return 0, fmt.Errorf("prefix of length %d: %w", i, err)
+		}
+		if !r.Opaque {
+			return i, nil
+		}
+	}
+	return -1, nil
+}

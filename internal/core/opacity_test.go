@@ -1,0 +1,412 @@
+package core
+
+import (
+	"testing"
+
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// figure1 is the paper's H1 (Figure 1): globally atomic and recoverable
+// but NOT opaque — aborted T2 observes an inconsistent state.
+func figure1() history.History {
+	return history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).
+		Write(3, "x", 2).Write(3, "y", 2).Commits(3).
+		Read(2, "y", 2).Aborts(2).
+		MustHistory()
+}
+
+// figure2 is the paper's H5 (Figure 2, §5.3): an opaque history with
+// witness serialization T2 T1 T3.
+func figure2() history.History {
+	h := history.History{
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", spec.OK),
+		history.Inv(2, "y", "write", 2), history.Ret(2, "y", "write", spec.OK),
+		history.TryC(2),
+		history.Inv(1, "x", "read", nil),
+		history.Commit(2),
+		history.Inv(3, "y", "write", 3),
+		history.Ret(1, "x", "read", 1), history.Inv(1, "x", "write", 5),
+		history.Ret(3, "y", "write", spec.OK),
+		history.Ret(1, "x", "write", spec.OK), history.Inv(1, "y", "read", nil),
+		history.Inv(3, "x", "read", nil),
+		history.Ret(1, "y", "read", 2), history.TryC(1),
+		history.Ret(3, "x", "read", 1), history.TryC(3),
+		history.Abort(1),
+		history.Commit(3),
+	}
+	return h.MustWellFormed()
+}
+
+// h4 is the paper's H4 (§5.2): commit-pending T2's write is visible to T3
+// but not to T1 — opaque thanks to the dual semantics of commit-pending
+// transactions.
+func h4() history.History {
+	return history.NewBuilder().
+		Read(1, "x", 0).
+		Write(2, "x", 5).Write(2, "y", 5).TryC(2).
+		Read(3, "y", 5).
+		Read(1, "y", 0).
+		MustHistory()
+}
+
+func TestFigure1_H1_NotOpaque(t *testing.T) {
+	r, err := Opaque(figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opaque {
+		t.Fatalf("H1 must not be opaque (witness claimed: %v)", r.Witness)
+	}
+}
+
+func TestH2_NotOpaque(t *testing.T) {
+	// H2 (sequential, equivalent to H1) is not opaque either: its
+	// real-time order forces T2 last, where T2's read of x=1 is illegal.
+	h := history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Write(3, "x", 2).Write(3, "y", 2).Commits(3).
+		Read(2, "x", 1).Read(2, "y", 2).Aborts(2).
+		MustHistory()
+	if IsOpaque(h, nil) {
+		t.Error("H2 must not be opaque")
+	}
+}
+
+func TestFigure2_H5_Opaque(t *testing.T) {
+	r, err := Opaque(figure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Opaque {
+		t.Fatal("H5 (Figure 2) must be opaque")
+	}
+	w := r.Witness
+	// The paper's witness is S = H5|T2 · H5|T1 · H5|T3; our search must
+	// find it (it is the unique legal order: T1 must follow T2 because it
+	// reads T2's x=1, and T3 must follow T1 is not required — but T3
+	// cannot precede T1 since T1 reads y=2 written by T2, not T3's y=3).
+	want := []history.TxID{2, 1, 3}
+	if len(w.Order) != 3 || w.Order[0] != want[0] || w.Order[1] != want[1] || w.Order[2] != want[2] {
+		t.Errorf("witness order = %v, want T2 T1 T3", w)
+	}
+	if !w.Sequential.Sequential() {
+		t.Error("witness S must be sequential")
+	}
+	if !history.Equivalent(w.Sequential, w.Completion) {
+		t.Error("witness S must be equivalent to the completion")
+	}
+	if !history.PreservesRealTimeOrder(figure2(), w.Sequential) {
+		t.Error("witness S must preserve the real-time order of H5")
+	}
+	if _, ok := AllLegal(w.Sequential, spec.RegistersFor(figure2(), 0)); !ok {
+		t.Error("every transaction must be legal in the witness S")
+	}
+}
+
+func TestH3_Opaque(t *testing.T) {
+	// H3: T1 commit-pending, T2 reads its write. Opaque by committing T1.
+	h := history.NewBuilder().
+		Write(1, "x", 1).TryC(1).
+		Read(2, "x", 1).
+		MustHistory()
+	r, err := Opaque(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Opaque {
+		t.Fatal("H3 must be opaque")
+	}
+	if !r.Witness.Completion.Committed(1) {
+		t.Error("the witness completion must commit the commit-pending T1")
+	}
+}
+
+func TestH4_Opaque(t *testing.T) {
+	// §5.2: H4 is opaque — commit-pending T2 appears committed to T3 and
+	// not yet to T1; the witness serializes T1 before T2 before T3.
+	r, err := Opaque(h4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Opaque {
+		t.Fatal("H4 must be opaque")
+	}
+	w := r.Witness
+	pos := map[history.TxID]int{}
+	for i, tx := range w.Order {
+		pos[tx] = i
+	}
+	if !(pos[1] < pos[2] && pos[2] < pos[3]) {
+		t.Errorf("witness order %v should place T1 before T2 before T3", w)
+	}
+}
+
+func TestH4_T1ReadingNewYNotOpaque(t *testing.T) {
+	// The paper's discussion: if T1 read 5 from y (instead of 0), T1
+	// would observe the inconsistent state x=0, y=5 — not opaque.
+	h := history.NewBuilder().
+		Read(1, "x", 0).
+		Write(2, "x", 5).Write(2, "y", 5).TryC(2).
+		Read(3, "y", 5).
+		Read(1, "y", 5).
+		MustHistory()
+	if IsOpaque(h, nil) {
+		t.Error("T1 observing x=0, y=5 must violate opacity")
+	}
+}
+
+func TestEmptyAndTrivialHistories(t *testing.T) {
+	r, err := Opaque(nil)
+	if err != nil || !r.Opaque {
+		t.Errorf("empty history must be opaque: %v %v", r, err)
+	}
+	h := history.NewBuilder().Read(1, "x", 0).Commits(1).MustHistory()
+	if !IsOpaque(h, nil) {
+		t.Error("single legal committed transaction must be opaque")
+	}
+	hBad := history.NewBuilder().Read(1, "x", 42).Commits(1).MustHistory()
+	if IsOpaque(hBad, nil) {
+		t.Error("read of 42 from a fresh register must not be opaque")
+	}
+}
+
+func TestAbortedTransactionMustStillSeeConsistentState(t *testing.T) {
+	// The defining feature of opacity vs serializability: even a
+	// transaction that aborts must never have observed an inconsistent
+	// snapshot.
+	h := history.NewBuilder().
+		Write(1, "x", 1).Write(1, "y", 1).Commits(1).
+		Read(2, "x", 0). // T2 sees pre-T1 x...
+		Read(2, "y", 1). // ...and post-T1 y: inconsistent
+		Aborts(2).
+		MustHistory()
+	if IsOpaque(h, nil) {
+		t.Error("mixed snapshot in an aborted transaction violates opacity")
+	}
+}
+
+func TestLiveTransactionConsistency(t *testing.T) {
+	// Same, for a still-live transaction (no completion events at all).
+	h := history.NewBuilder().
+		Write(1, "x", 1).Write(1, "y", 1).Commits(1).
+		Read(2, "x", 0).
+		Read(2, "y", 1).
+		MustHistory()
+	if IsOpaque(h, nil) {
+		t.Error("a live transaction observing an inconsistent snapshot violates opacity")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// T1 commits x=1 before T2 starts; T2 must not read the older value 0
+	// ("preserving real-time order", §2).
+	h := history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 0).Commits(2).
+		MustHistory()
+	if IsOpaque(h, nil) {
+		t.Error("reading an outdated committed state violates real-time order")
+	}
+}
+
+func TestConcurrentSerializationFlexibility(t *testing.T) {
+	// Two concurrent transactions may serialize in either order; reading
+	// the old value of a concurrent committer's object is fine.
+	h := history.History{
+		history.Inv(1, "x", "read", nil),
+		history.Inv(2, "x", "write", 1),
+		history.Ret(2, "x", "write", spec.OK),
+		history.TryC(2),
+		history.Commit(2),
+		history.Ret(1, "x", "read", 0), // old value: T1 serializes first
+		history.TryC(1),
+		history.Commit(1),
+	}.MustWellFormed()
+	if !IsOpaque(h, nil) {
+		t.Error("serializing the reader before the concurrent writer must be allowed")
+	}
+}
+
+func TestCommitPendingVisibilityChoice(t *testing.T) {
+	// A reader may see a commit-pending writer's value (the completion
+	// commits it)...
+	h := history.NewBuilder().
+		Write(1, "x", 1).TryC(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory()
+	if !IsOpaque(h, nil) {
+		t.Error("reading a commit-pending write is opaque if the writer is deemed committed")
+	}
+	// ...or not see it (the completion aborts it).
+	h2 := history.NewBuilder().
+		Write(1, "x", 1).TryC(1).
+		Read(2, "x", 0).Commits(2).
+		MustHistory()
+	if !IsOpaque(h2, nil) {
+		t.Error("ignoring a commit-pending write is opaque if the writer is deemed aborted")
+	}
+}
+
+func TestTwoReadersDisagreeOnCommitPending(t *testing.T) {
+	// But a single commit-pending transaction cannot appear committed to
+	// one reader and aborted to another when both readers commit and
+	// overlap it completely... unless a serialization exists, as in H4.
+	// Here both readers read the same object, so no order works.
+	h := history.NewBuilder().
+		Write(1, "x", 1).TryC(1).
+		Read(2, "x", 1).Commits(2). // T2 sees the write
+		Read(3, "x", 0).Commits(3). // T3 does not, yet T2 ≺H T3? no — concurrent
+		MustHistory()
+	// T2 commits before T3's first event? The builder puts T3's read
+	// after T2's commit, so T2 ≺H T3, forcing T2 before T3; T2 sees x=1
+	// (T1 committed), then T3 must also see x=1. Not opaque.
+	if IsOpaque(h, nil) {
+		t.Error("later reader cannot un-see a committed-visible write")
+	}
+}
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	// §3.4: k transactions concurrently increment a counter without
+	// reading it; all commit. Opaque under counter semantics.
+	b := history.NewBuilder()
+	// Fully overlapping: all invs before any commit.
+	h := history.History{}
+	for tx := history.TxID(1); tx <= 4; tx++ {
+		h = append(h, history.Inv(tx, "c", "inc", nil))
+		h = append(h, history.Ret(tx, "c", "inc", spec.OK))
+	}
+	for tx := history.TxID(1); tx <= 4; tx++ {
+		h = append(h, history.TryC(tx), history.Commit(tx))
+	}
+	_ = b
+	h = h.MustWellFormed()
+	objs := spec.Objects{"c": spec.NewCounter(0)}
+	if !IsOpaque(h, objs) {
+		t.Error("concurrent committed increments are opaque under counter semantics")
+	}
+	// A subsequent reader must see the total.
+	h2 := h.Append(
+		history.Inv(9, "c", "get", nil), history.Ret(9, "c", "get", 4),
+		history.TryC(9), history.Commit(9),
+	).MustWellFormed()
+	if !IsOpaque(h2, objs) {
+		t.Error("reader must see all 4 increments")
+	}
+	h3 := h.Append(
+		history.Inv(9, "c", "get", nil), history.Ret(9, "c", "get", 3),
+		history.TryC(9), history.Commit(9),
+	).MustWellFormed()
+	if IsOpaque(h3, objs) {
+		t.Error("reader seeing 3 of 4 committed increments violates opacity")
+	}
+}
+
+func TestRigorousSchedulingExampleIsOpaque(t *testing.T) {
+	// §3.6: k transactions concurrently write x, y, z and all commit.
+	// Rigorous scheduling forbids this; opacity allows it as long as the
+	// end state is consistent (some order of the writers).
+	var h history.History
+	for tx := history.TxID(1); tx <= 3; tx++ {
+		for _, ob := range []history.ObjID{"x", "y", "z"} {
+			h = append(h,
+				history.Inv(tx, ob, "write", int(tx)),
+				history.Ret(tx, ob, "write", spec.OK))
+		}
+	}
+	for tx := history.TxID(1); tx <= 3; tx++ {
+		h = append(h, history.TryC(tx), history.Commit(tx))
+	}
+	h = h.MustWellFormed()
+	if !IsOpaque(h, nil) {
+		t.Error("concurrent blind writers must be opaque (§3.6)")
+	}
+	// And a later reader must see one writer's values consistently.
+	ok := h.Append(
+		history.Inv(9, "x", "read", nil), history.Ret(9, "x", "read", 2),
+		history.Inv(9, "y", "read", nil), history.Ret(9, "y", "read", 2),
+		history.Inv(9, "z", "read", nil), history.Ret(9, "z", "read", 2),
+		history.TryC(9), history.Commit(9),
+	).MustWellFormed()
+	if !IsOpaque(ok, nil) {
+		t.Error("x=y=z=2 is a consistent final state")
+	}
+	mixed := h.Append(
+		history.Inv(9, "x", "read", nil), history.Ret(9, "x", "read", 1),
+		history.Inv(9, "y", "read", nil), history.Ret(9, "y", "read", 2),
+		history.TryC(9), history.Commit(9),
+	).MustWellFormed()
+	if IsOpaque(mixed, nil) {
+		t.Error("x=1, y=2 mixes two writers: not opaque")
+	}
+}
+
+func TestCheckRejectsMalformed(t *testing.T) {
+	if _, err := Opaque(history.History{history.Commit(1)}); err == nil {
+		t.Error("Check must reject malformed histories")
+	}
+}
+
+func TestCheckNodeLimit(t *testing.T) {
+	// A non-opaque history forces exhaustive search; a 2-node budget must
+	// trip before the verdict is reached.
+	_, err := Check(figure1(), Config{MaxNodes: 2})
+	if err != ErrSearchLimit {
+		t.Errorf("expected ErrSearchLimit, got %v", err)
+	}
+}
+
+func TestIsOpaquePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IsOpaque must panic on malformed history")
+		}
+	}()
+	IsOpaque(history.History{history.Commit(1)}, nil)
+}
+
+func TestFirstNonOpaquePrefix(t *testing.T) {
+	h := figure1()
+	n, err := FirstNonOpaquePrefix(h, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The violation appears exactly when T2's read of y returns 2: event
+	// index of that ret + 1.
+	want := -1
+	for i, e := range h {
+		if e.Kind == history.KindRet && e.Tx == 2 && e.Obj == "y" {
+			want = i + 1
+			break
+		}
+	}
+	if n != want {
+		t.Errorf("FirstNonOpaquePrefix = %d, want %d (T2's read of y)", n, want)
+	}
+
+	if n, err := FirstNonOpaquePrefix(figure2(), Config{}); err != nil || n != -1 {
+		t.Errorf("every prefix of opaque H5 is opaque; got %d, %v", n, err)
+	}
+}
+
+func TestWitnessString(t *testing.T) {
+	r, err := Opaque(figure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Witness.String(); got != "T2 T1 T3" {
+		t.Errorf("witness string = %q", got)
+	}
+}
+
+func TestTooManyTransactions(t *testing.T) {
+	var h history.History
+	for tx := history.TxID(1); tx <= 64; tx++ {
+		h = append(h, history.TryC(tx), history.Commit(tx))
+	}
+	if _, err := Opaque(h); err == nil {
+		t.Error("Check must refuse histories with more than 63 transactions")
+	}
+}

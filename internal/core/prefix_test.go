@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"otm/internal/history"
+)
+
+// TestOpacityNotPrefixClosed materializes the §5.2 remark that "the set
+// of all opaque histories is not prefix-closed": a live transaction's
+// read of a value that nobody has written YET is inexplicable in the
+// prefix, but becomes legal once the writer appears later in the history
+// and serializes before the reader (possible because the reader is still
+// live, so no real-time edge forces it first).
+//
+// This is exactly why the definition need not enforce prefix-closeness:
+// a real TM generates events progressively, and it would never emit the
+// prefix's unexplained read in the first place — FirstNonOpaquePrefix
+// exists to audit that.
+func TestOpacityNotPrefixClosed(t *testing.T) {
+	full := history.History{
+		history.Inv(1, "x", "read", nil), history.Ret(1, "x", "read", 1),
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", history.OK),
+		history.TryC(2), history.Commit(2),
+		history.TryC(1), history.Commit(1),
+	}.MustWellFormed()
+
+	// The full history is opaque: serialize T2 before T1 (no real-time
+	// constraint orders them — T1 is live throughout T2's execution).
+	res, err := Opaque(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatal("the full history must be opaque (T2 serializes first)")
+	}
+	if res.Witness.Order[0] != 2 {
+		t.Errorf("witness %v should place the writer first", res.Witness.Order)
+	}
+
+	// Its two-event prefix — just T1's read of the unwritten value — is
+	// not opaque.
+	prefix := full[:2]
+	pres, err := Opaque(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Opaque {
+		t.Fatal("the prefix must NOT be opaque: nobody wrote 1")
+	}
+
+	// FirstNonOpaquePrefix pinpoints it.
+	n, err := FirstNonOpaquePrefix(full, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("FirstNonOpaquePrefix = %d, want 2", n)
+	}
+}
+
+// TestPrefixMonotoneForWellBehavedHistories: for histories a TM can
+// actually emit (reads always explainable when issued), the online
+// checker accepts every prefix — sanity for the recorder-audit workflow.
+func TestPrefixMonotoneForWellBehavedHistories(t *testing.T) {
+	h := history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).Write(2, "y", 2).Commits(2).
+		Read(3, "y", 2).Read(3, "x", 1).Commits(3).
+		MustHistory()
+	n, err := FirstNonOpaquePrefix(h, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != -1 {
+		t.Errorf("prefix %d flagged in a well-behaved history", n)
+	}
+}

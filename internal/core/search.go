@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// SerializeOptions parameterizes the serialization search shared by the
+// opacity checker and the weaker criteria of internal/criteria.
+type SerializeOptions struct {
+	// Source supplies the per-transaction event sequences (typically a
+	// completion of the history under test).
+	Source history.History
+	// Txs are the transactions to serialize. For opacity this is every
+	// transaction of the completion; for serializability-style criteria,
+	// only the committed ones.
+	Txs []history.TxID
+	// Committed tells which transactions update the object states once
+	// placed. Transactions for which it returns false are checked for
+	// legality but leave no trace.
+	Committed func(history.TxID) bool
+	// Preds are ordering constraints: each pair (a, b) requires a to be
+	// serialized before b. Pairs mentioning transactions outside Txs are
+	// ignored.
+	Preds [][2]history.TxID
+	// Objects are the initial object states; nil entries default to
+	// integer registers initialized to 0.
+	Objects spec.Objects
+	// MaxNodes bounds the search (0 = default); *Nodes accumulates the
+	// node count across calls when non-nil.
+	MaxNodes int
+	Nodes    *int
+}
+
+// FindSerialization searches for an order of o.Txs such that every
+// ordering constraint holds and every transaction is legal on the object
+// states produced by the committed transactions placed before it. It
+// returns the order and true on success; false if no such order exists.
+// ErrSearchLimit is returned when the node budget is exhausted first.
+func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
+	n := len(o.Txs)
+	if n > 63 {
+		return nil, false, fmt.Errorf("core: %d transactions exceed the supported maximum of 63", n)
+	}
+	if n == 0 {
+		return nil, true, nil
+	}
+	maxNodes := o.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = defaultMaxNodes
+	}
+	var localNodes int
+	nodes := o.Nodes
+	if nodes == nil {
+		nodes = &localNodes
+	}
+
+	idx := txIndex(o.Txs)
+	preds := make([]uint64, n)
+	for _, p := range o.Preds {
+		i, oki := idx[p[0]]
+		j, okj := idx[p[1]]
+		if oki && okj {
+			preds[j] |= 1 << uint(i)
+		}
+	}
+
+	objIDs := sortedObjects(o.Source)
+	execs := make([][]history.OpExec, n)
+	committed := make([]bool, n)
+	for i, tx := range o.Txs {
+		execs[i] = o.Source.OpExecs(tx)
+		committed[i] = o.Committed(tx)
+	}
+
+	baseObjs := o.Objects
+	if baseObjs == nil {
+		baseObjs = spec.Objects{}
+	}
+
+	visitedFail := make(map[string]bool)
+	order := make([]history.TxID, 0, n)
+	full := (uint64(1) << uint(n)) - 1
+
+	var search func(placed uint64, states spec.Objects) bool
+	search = func(placed uint64, states spec.Objects) bool {
+		if *nodes >= maxNodes {
+			return false
+		}
+		*nodes++
+		if placed == full {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", placed, stateKey(states, objIDs))
+		if visitedFail[key] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if placed&bit != 0 || preds[i]&^placed != 0 {
+				continue
+			}
+			next, legal := replayTx(states, execs[i])
+			if !legal {
+				continue
+			}
+			order = append(order, o.Txs[i])
+			after := states
+			if committed[i] {
+				after = next
+			}
+			if search(placed|bit, after) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		visitedFail[key] = true
+		return false
+	}
+
+	if search(0, baseObjs) {
+		return append([]history.TxID(nil), order...), true, nil
+	}
+	if *nodes >= maxNodes {
+		return nil, false, ErrSearchLimit
+	}
+	return nil, false, nil
+}

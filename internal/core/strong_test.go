@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"otm/internal/history"
+)
+
+func TestOpOrderPreds(t *testing.T) {
+	// T1's read completes before T2's write is invoked; T2's write
+	// completes before nothing of T1 (T1 has no later invocation).
+	h := history.NewBuilder().
+		Read(1, "x", 0).
+		Write(2, "x", 1).
+		MustHistory()
+	preds := OpOrderPreds(h)
+	if len(preds) != 1 || preds[0] != [2]history.TxID{1, 2} {
+		t.Errorf("preds = %v, want [[1 2]]", preds)
+	}
+}
+
+// TestH4NotStronglyOpaque is the §5.2 argument made executable: H4 is
+// opaque (the multi-version behaviour) but fails once operation order
+// must be preserved — T3's read of y=5 completes before T1's read of
+// y=0 is invoked, forcing T3 before T1, yet legality forces T1 before
+// T2 before T3.
+func TestH4NotStronglyOpaque(t *testing.T) {
+	r, err := Opaque(h4())
+	if err != nil || !r.Opaque {
+		t.Fatalf("H4 must be opaque: %v %v", r.Opaque, err)
+	}
+	rs, err := CheckStrong(h4(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Opaque {
+		t.Fatal("H4 must NOT be strongly opaque (witness would contradict §5.2)")
+	}
+}
+
+// TestH5NotStronglyOpaque: even the paper's flagship opaque history
+// fails the strengthened requirement — T1's and T3's operations
+// mutually interleave — underscoring why the paper rejects it.
+func TestH5NotStronglyOpaque(t *testing.T) {
+	rs, err := CheckStrong(figure2(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Opaque {
+		t.Error("H5 interleaves T1 and T3 operations in both directions")
+	}
+}
+
+// TestSequentialHistoriesStrongEqualsOpaque: with no operation
+// interleaving the two notions coincide.
+func TestSequentialHistoriesStrongEqualsOpaque(t *testing.T) {
+	cases := []history.History{
+		history.MustParse("w1(x,1) tryC1 C1 r2(x)->1 tryC2 C2"),
+		history.MustParse("w1(x,1) tryC1 C1 r2(x)->0 tryC2 C2"), // stale: neither
+		history.MustParse("w1(x,1) tryC1 C1 w2(x,2) tryC2 C2 r3(x)->2 tryC3 C3"),
+	}
+	for i, h := range cases {
+		a, err := Opaque(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CheckStrong(h, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Opaque != b.Opaque {
+			t.Errorf("case %d: opaque=%v strong=%v; must coincide on sequential histories",
+				i, a.Opaque, b.Opaque)
+		}
+	}
+}
+
+// TestStrongOpaqueImpliesOpaque: on arbitrary histories the
+// strengthened criterion only removes witnesses.
+func TestStrongOpaqueImpliesOpaque(t *testing.T) {
+	hs := []history.History{figure2(), h4(), figure1()}
+	for i, h := range hs {
+		s, err := CheckStrong(h, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Opaque {
+			continue
+		}
+		o, err := Opaque(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Opaque {
+			t.Errorf("case %d: strongly opaque but not opaque?!", i)
+		}
+	}
+}
+
+// TestStrongConcurrentButNonInterleaved: concurrent transactions whose
+// operations happen not to interleave can still serialize freely.
+func TestStrongConcurrentButNonInterleaved(t *testing.T) {
+	// T1's single op completes, then T2's single op runs, but neither
+	// transaction completes before the other's first event (both commit
+	// at the end): concurrent transactions, one-directional op order.
+	h := history.History{
+		history.Inv(1, "x", "read", nil), history.Ret(1, "x", "read", 1),
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", history.OK),
+		history.TryC(2), history.Commit(2),
+		history.TryC(1), history.Commit(1),
+	}.MustWellFormed()
+	// Opaque: T2 serializes before T1 (T1 reads T2's value).
+	o, err := Opaque(h)
+	if err != nil || !o.Opaque {
+		t.Fatalf("base history must be opaque: %v %v", o.Opaque, err)
+	}
+	// But strong opacity forbids that serialization: T1's read completed
+	// before T2's write was invoked.
+	s, err := CheckStrong(h, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Opaque {
+		t.Error("reading a value written later must fail strong opacity")
+	}
+}

@@ -1,0 +1,77 @@
+package criteria
+
+import (
+	"fmt"
+	"strings"
+
+	"otm/internal/core"
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// Report collects the verdict of every criterion for one history — the
+// rows of the comparison tables in EXPERIMENTS.md and cmd/opacheck.
+type Report struct {
+	Opaque               bool
+	Serializable         bool
+	StrictlySerializable bool
+	GloballyAtomic       bool
+	StrictlyRecoverable  bool
+	Rigorous             bool
+
+	// OpacityWitness is the serialization order proving opacity, when
+	// Opaque is true.
+	OpacityWitness []history.TxID
+}
+
+// Evaluate runs every criterion on h with the given object environment
+// (nil = registers initialized to 0).
+func Evaluate(h history.History, objs spec.Objects) (Report, error) {
+	var rep Report
+	res, err := core.Check(h, core.Config{Objects: objs})
+	if err != nil {
+		return rep, fmt.Errorf("opacity: %w", err)
+	}
+	rep.Opaque = res.Opaque
+	if res.Opaque {
+		rep.OpacityWitness = res.Witness.Order
+	}
+	if rep.Serializable, err = Serializable(h, objs); err != nil {
+		return rep, fmt.Errorf("serializability: %w", err)
+	}
+	if rep.StrictlySerializable, err = StrictlySerializable(h, objs); err != nil {
+		return rep, fmt.Errorf("strict serializability: %w", err)
+	}
+	if rep.GloballyAtomic, err = GloballyAtomic(h, objs); err != nil {
+		return rep, fmt.Errorf("global atomicity: %w", err)
+	}
+	rep.StrictlyRecoverable, _ = StrictlyRecoverable(h, nil)
+	rep.Rigorous, _ = RigorouslyScheduled(h, nil)
+	return rep, nil
+}
+
+// String renders the report as an aligned two-column table.
+func (r Report) String() string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "NO"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %s", "opacity", mark(r.Opaque))
+	if r.Opaque {
+		fmt.Fprintf(&b, "  (witness:")
+		for _, tx := range r.OpacityWitness {
+			fmt.Fprintf(&b, " T%d", int(tx))
+		}
+		fmt.Fprintf(&b, ")")
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-24s %s\n", "serializability", mark(r.Serializable))
+	fmt.Fprintf(&b, "%-24s %s\n", "strict serializability", mark(r.StrictlySerializable))
+	fmt.Fprintf(&b, "%-24s %s\n", "global atomicity (+rt)", mark(r.GloballyAtomic))
+	fmt.Fprintf(&b, "%-24s %s\n", "strict recoverability", mark(r.StrictlyRecoverable))
+	fmt.Fprintf(&b, "%-24s %s\n", "rigorous scheduling", mark(r.Rigorous))
+	return b.String()
+}

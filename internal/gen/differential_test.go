@@ -1,0 +1,291 @@
+package gen
+
+// Differential and property tests tying the whole formal stack together
+// on randomly generated histories:
+//
+//   - experiment E8: the graph characterization (Theorem 2, internal/opg)
+//     must agree with the definitional checker (Definition 1,
+//     internal/core) on every history;
+//   - opacity must imply strict serializability of the committed
+//     projection (the "opacity extends global atomicity" direction);
+//   - opacity witnesses must satisfy all three clauses of Definition 1;
+//   - Complete(H) members must be complete, well-formed extensions.
+
+import (
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/criteria"
+	"otm/internal/history"
+	"otm/internal/opg"
+)
+
+// smallCfg keeps histories inside Theorem 2's factorial search budget.
+var smallCfg = Config{Txs: 3, Objs: 2, MaxOps: 2, WithInit: true, PStaleRead: 0.35}
+
+func TestDifferentialTheorem2(t *testing.T) {
+	seeds := int64(400)
+	if !testing.Short() {
+		seeds = 1500
+	}
+	opaqueCount, notCount := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		h := History(smallCfg, seed)
+		defRes, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("seed %d: core: %v\n%s", seed, err, h.Format())
+		}
+		gRes, err := opg.CheckTheorem2(h)
+		if err != nil {
+			t.Fatalf("seed %d: opg: %v\n%s", seed, err, h.Format())
+		}
+		if defRes.Opaque != gRes.Opaque {
+			t.Fatalf("seed %d: Definition 1 says opaque=%v but Theorem 2 says %v\nhistory:\n%s\nconsistent=%v reason=%v",
+				seed, defRes.Opaque, gRes.Opaque, h.Format(), gRes.Consistent, gRes.Reason)
+		}
+		if defRes.Opaque {
+			opaqueCount++
+		} else {
+			notCount++
+		}
+	}
+	// The corpus must genuinely exercise both verdicts.
+	if opaqueCount < 20 || notCount < 20 {
+		t.Errorf("unbalanced corpus: %d opaque, %d not", opaqueCount, notCount)
+	}
+}
+
+func TestOpacityImpliesStrictSerializability(t *testing.T) {
+	// The implication holds for the *completion* chosen by the witness:
+	// a committed transaction may legitimately read from a commit-pending
+	// one (the paper's dual-semantics subtlety, §5.2), in which case the
+	// committed projection of h itself — which drops the commit-pending
+	// writer — is not serializable, while the projection of the witness
+	// completion (where that writer IS committed) always is. When h has
+	// no commit-pending transactions the two statements coincide.
+	cfg := Config{Txs: 4, Objs: 3, MaxOps: 3, PStaleRead: 0.3}
+	for seed := int64(0); seed < 300; seed++ {
+		h := History(cfg, seed)
+		res, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Opaque {
+			continue
+		}
+		ok, err := criteria.StrictlySerializable(res.Witness.Completion, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: witness completion not strictly serializable:\n%s",
+				seed, res.Witness.Completion.Format())
+		}
+		if len(h.CommitPendingTxs()) == 0 {
+			ok, err := criteria.StrictlySerializable(h, nil)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !ok {
+				t.Fatalf("seed %d: opaque history without commit-pending txs must be strictly serializable:\n%s",
+					seed, h.Format())
+			}
+		}
+	}
+}
+
+func TestOpacityWitnessSatisfiesDefinition(t *testing.T) {
+	cfg := Config{Txs: 4, Objs: 2, MaxOps: 3, PStaleRead: 0.3}
+	for seed := int64(0); seed < 200; seed++ {
+		h := History(cfg, seed)
+		res, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Opaque {
+			continue
+		}
+		w := res.Witness
+		s := w.Sequential
+		if !s.Sequential() {
+			t.Fatalf("seed %d: witness S not sequential", seed)
+		}
+		if !s.Complete() {
+			t.Fatalf("seed %d: witness S not complete", seed)
+		}
+		if !history.Equivalent(s, w.Completion) {
+			t.Fatalf("seed %d: witness S not equivalent to the completion", seed)
+		}
+		if !history.PreservesRealTimeOrder(h, s) {
+			t.Fatalf("seed %d: witness S breaks ≺H", seed)
+		}
+		if tx, ok := core.AllLegal(s, nil); !ok {
+			t.Fatalf("seed %d: T%d illegal in witness S:\n%s", seed, int(tx), s.Format())
+		}
+	}
+}
+
+func TestCompletionsAreCompleteWellFormedExtensions(t *testing.T) {
+	cfg := Config{Txs: 4, Objs: 2, MaxOps: 2, PLeaveLive: 0.5}
+	for seed := int64(0); seed < 200; seed++ {
+		h := History(cfg, seed)
+		n := 0
+		h.EachCompletion(func(c history.History) bool {
+			n++
+			if err := c.WellFormed(); err != nil {
+				t.Fatalf("seed %d: completion malformed: %v", seed, err)
+			}
+			if !c.Complete() {
+				t.Fatalf("seed %d: completion has live transactions", seed)
+			}
+			for i := range h {
+				if c[i] != h[i] {
+					t.Fatalf("seed %d: completion rewrites the original events", seed)
+				}
+			}
+			for _, tx := range h.Transactions() {
+				switch h.Status(tx) {
+				case history.StatusCommitted:
+					if !c.Committed(tx) {
+						t.Fatalf("seed %d: completed status changed", seed)
+					}
+				case history.StatusAborted:
+					if !c.Aborted(tx) {
+						t.Fatalf("seed %d: completed status changed", seed)
+					}
+				case history.StatusLive:
+					if !c.Aborted(tx) {
+						t.Fatalf("seed %d: live non-commit-pending T%d not aborted", seed, int(tx))
+					}
+				}
+			}
+			return true
+		})
+		want := 1 << len(h.CommitPendingTxs())
+		if n != want {
+			t.Fatalf("seed %d: %d completions, want %d", seed, n, want)
+		}
+	}
+}
+
+func TestEquivalenceUnderReinterleaving(t *testing.T) {
+	// Concatenating the per-transaction projections in any order yields
+	// an equivalent history.
+	cfg := Config{Txs: 4, Objs: 2, MaxOps: 3}
+	for seed := int64(0); seed < 100; seed++ {
+		h := History(cfg, seed)
+		var s history.History
+		txs := h.Transactions()
+		for i := len(txs) - 1; i >= 0; i-- { // reversed order
+			s = append(s, h.Sub(txs[i])...)
+		}
+		if !history.Equivalent(h, s) {
+			t.Fatalf("seed %d: reinterleaving broke equivalence", seed)
+		}
+		if !history.Equivalent(s, h) {
+			t.Fatalf("seed %d: equivalence not symmetric", seed)
+		}
+	}
+}
+
+func TestOnlineCheckerConsistentWithOffline(t *testing.T) {
+	// FirstNonOpaquePrefix == -1 implies the full history is opaque (the
+	// full history is one of the checked prefixes). The converse is NOT
+	// asserted — opacity is not prefix-closed (§5.2).
+	cfg := Config{Txs: 3, Objs: 2, MaxOps: 2, PStaleRead: 0.3}
+	for seed := int64(0); seed < 100; seed++ {
+		h := History(cfg, seed)
+		n, err := core.FirstNonOpaquePrefix(h, core.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n == -1 && !res.Opaque {
+			t.Fatalf("seed %d: all prefixes opaque but the whole history is not?", seed)
+		}
+		if n != -1 && n > len(h) {
+			t.Fatalf("seed %d: prefix index %d out of range", seed, n)
+		}
+	}
+}
+
+// TestCommittedOnlyOpacityEqualsStrictSerializability: on histories
+// where every transaction commits, opacity and strict serializability
+// coincide — the aborted/live-transaction clause is exactly what
+// separates them.
+func TestCommittedOnlyOpacityEqualsStrictSerializability(t *testing.T) {
+	cfg := Config{Txs: 4, Objs: 2, MaxOps: 3, PCommit: 1.0, PLeaveLive: -1, PStaleRead: 0.3}
+	for seed := int64(0); seed < 200; seed++ {
+		h := History(cfg, seed)
+		allCommitted := true
+		for _, tx := range h.Transactions() {
+			if !h.Committed(tx) {
+				allCommitted = false
+			}
+		}
+		if !allCommitted {
+			continue
+		}
+		o, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s, err := criteria.StrictlySerializable(h, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if o.Opaque != s {
+			t.Fatalf("seed %d: opaque=%v strict-ser=%v on an all-committed history:\n%s",
+				seed, o.Opaque, s, h.Format())
+		}
+	}
+}
+
+// TestRigorousImpliesRecoverable: rigorous scheduling forbids every
+// access to an object updated by a live transaction, which is a superset
+// of strict recoverability's prohibition.
+func TestRigorousImpliesRecoverable(t *testing.T) {
+	cfg := Config{Txs: 5, Objs: 2, MaxOps: 3}
+	rigorousSeen := 0
+	for seed := int64(0); seed < 300; seed++ {
+		h := History(cfg, seed)
+		rig, _ := criteria.RigorouslyScheduled(h, nil)
+		if !rig {
+			continue
+		}
+		rigorousSeen++
+		rec, v := criteria.StrictlyRecoverable(h, nil)
+		if !rec {
+			t.Fatalf("seed %d: rigorous but not recoverable (%v):\n%s", seed, v, h.Format())
+		}
+	}
+	if rigorousSeen == 0 {
+		t.Error("corpus contained no rigorous histories; weaken the generator")
+	}
+}
+
+func TestConsistencyPrecondition(t *testing.T) {
+	// Whenever Theorem 2 reports "inconsistent", Definition 1 must agree
+	// the history is not opaque (consistency is necessary for opacity).
+	for seed := int64(0); seed < 300; seed++ {
+		h := History(smallCfg, seed)
+		gRes, err := opg.CheckTheorem2(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if gRes.Consistent {
+			continue
+		}
+		defRes, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if defRes.Opaque {
+			t.Fatalf("seed %d: inconsistent per Theorem 2 yet opaque per Definition 1:\n%s\nreason: %v",
+				seed, h.Format(), gRes.Reason)
+		}
+	}
+}

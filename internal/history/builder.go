@@ -1,0 +1,87 @@
+package history
+
+// Builder constructs histories fluently. It is the programmatic analogue
+// of the paper's history notation: each method appends one event or one
+// operation execution (an inv/ret pair) to the history under
+// construction. Builder methods return the receiver for chaining.
+//
+//	h := history.NewBuilder().
+//		Write(1, "x", 1).TryC(1).C(1).
+//		Read(2, "x", 1).
+//		History()
+type Builder struct {
+	h History
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Read appends the operation execution read_tx(obj) -> v.
+func (b *Builder) Read(tx TxID, obj ObjID, v Value) *Builder {
+	b.h = append(b.h, Inv(tx, obj, "read", nil), Ret(tx, obj, "read", v))
+	return b
+}
+
+// Write appends the operation execution write_tx(obj, v) -> ok.
+func (b *Builder) Write(tx TxID, obj ObjID, v Value) *Builder {
+	b.h = append(b.h, Inv(tx, obj, "write", v), Ret(tx, obj, "write", OK))
+	return b
+}
+
+// Op appends a generic operation execution op_tx(obj, arg) -> ret.
+func (b *Builder) Op(tx TxID, obj ObjID, op string, arg, ret Value) *Builder {
+	b.h = append(b.h, Inv(tx, obj, op, arg), Ret(tx, obj, op, ret))
+	return b
+}
+
+// Inv appends a (possibly pending) operation invocation event.
+func (b *Builder) Inv(tx TxID, obj ObjID, op string, arg Value) *Builder {
+	b.h = append(b.h, Inv(tx, obj, op, arg))
+	return b
+}
+
+// Ret appends an operation response event.
+func (b *Builder) Ret(tx TxID, obj ObjID, op string, ret Value) *Builder {
+	b.h = append(b.h, Ret(tx, obj, op, ret))
+	return b
+}
+
+// TryC appends a commit-try event tryC_tx.
+func (b *Builder) TryC(tx TxID) *Builder {
+	b.h = append(b.h, TryC(tx))
+	return b
+}
+
+// TryA appends an abort-try event tryA_tx.
+func (b *Builder) TryA(tx TxID) *Builder {
+	b.h = append(b.h, TryA(tx))
+	return b
+}
+
+// C appends a commit event C_tx.
+func (b *Builder) C(tx TxID) *Builder {
+	b.h = append(b.h, Commit(tx))
+	return b
+}
+
+// A appends an abort event A_tx.
+func (b *Builder) A(tx TxID) *Builder {
+	b.h = append(b.h, Abort(tx))
+	return b
+}
+
+// Commits appends ⟨tryC, C⟩ for tx: the transaction requests to commit
+// and is committed.
+func (b *Builder) Commits(tx TxID) *Builder { return b.TryC(tx).C(tx) }
+
+// Aborts appends ⟨tryC, A⟩ for tx: the transaction requests to commit and
+// is forcefully aborted.
+func (b *Builder) Aborts(tx TxID) *Builder { return b.TryC(tx).A(tx) }
+
+// History returns the constructed history. The builder may be reused; the
+// returned slice is a snapshot.
+func (b *Builder) History() History { return b.h.Clone() }
+
+// MustHistory returns the constructed history, panicking if it is not
+// well-formed.
+func (b *Builder) MustHistory() History { return b.History().MustWellFormed() }

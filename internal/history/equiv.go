@@ -1,0 +1,42 @@
+package history
+
+// equalEvents reports whether two event sequences are identical.
+func equalEvents(a, b History) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether h ≡ h2: both histories contain the same
+// transactions, and every transaction issues the same invocation events
+// and receives the same response events in both (H|Ti = H2|Ti for every
+// Ti). Equivalent histories differ only in the relative position of
+// events of different transactions.
+func Equivalent(h, h2 History) bool {
+	txs := h.Transactions()
+	txs2 := h2.Transactions()
+	if len(txs) != len(txs2) {
+		return false
+	}
+	seen := make(map[TxID]bool, len(txs))
+	for _, tx := range txs {
+		seen[tx] = true
+	}
+	for _, tx := range txs2 {
+		if !seen[tx] {
+			return false
+		}
+	}
+	for _, tx := range txs {
+		if !equalEvents(h.Sub(tx), h2.Sub(tx)) {
+			return false
+		}
+	}
+	return true
+}

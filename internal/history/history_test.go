@@ -1,0 +1,314 @@
+package history
+
+import "testing"
+
+// h1 builds the paper's history H1 (Figure 1, §4): T1 writes x and
+// commits; T2 reads x=1 and later y=2 and is forcefully aborted; T3
+// writes x and y and commits in between.
+func h1() History {
+	return NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).
+		Write(3, "x", 2).Write(3, "y", 2).Commits(3).
+		Read(2, "y", 2).Aborts(2).
+		MustHistory()
+}
+
+// h2 is the paper's H2: equivalent to H1 but sequential.
+func h2() History {
+	return NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Write(3, "x", 2).Write(3, "y", 2).Commits(3).
+		Read(2, "x", 1).Read(2, "y", 2).Aborts(2).
+		MustHistory()
+}
+
+// h3 is the paper's H3: T1 commit-pending, T2 live with a completed read.
+func h3() History {
+	return NewBuilder().
+		Write(1, "x", 1).TryC(1).
+		Read(2, "x", 1).
+		MustHistory()
+}
+
+func TestEventConstructors(t *testing.T) {
+	e := Inv(2, "x", "read", nil)
+	if e.Kind != KindInv || e.Tx != 2 || e.Obj != "x" || e.Op != "read" {
+		t.Fatalf("bad inv event: %+v", e)
+	}
+	if !Matches(e, Ret(2, "x", "read", 1)) {
+		t.Error("matching ret not recognized")
+	}
+	if Matches(e, Ret(3, "x", "read", 1)) {
+		t.Error("ret of other transaction must not match")
+	}
+	if Matches(e, Ret(2, "y", "read", 1)) {
+		t.Error("ret on other object must not match")
+	}
+	if !Matches(e, Abort(2)) {
+		t.Error("abort must match a pending operation invocation")
+	}
+	if !Matches(TryC(4), Commit(4)) || !Matches(TryC(4), Abort(4)) {
+		t.Error("commit-try must accept commit and abort")
+	}
+	if Matches(TryA(4), Commit(4)) {
+		t.Error("abort-try must not accept commit")
+	}
+	if !Matches(TryA(4), Abort(4)) {
+		t.Error("abort-try must accept abort")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	invKinds := []Kind{KindInv, KindTryCommit, KindTryAbort}
+	retKinds := []Kind{KindRet, KindCommit, KindAbort}
+	for _, k := range invKinds {
+		if !k.Invocation() || k.Response() {
+			t.Errorf("%v should be an invocation kind", k)
+		}
+	}
+	for _, k := range retKinds {
+		if k.Invocation() || !k.Response() {
+			t.Errorf("%v should be a response kind", k)
+		}
+	}
+}
+
+func TestProjections(t *testing.T) {
+	h := h1()
+	sub := h.Sub(2)
+	want := History{
+		Inv(2, "x", "read", nil), Ret(2, "x", "read", 1),
+		Inv(2, "y", "read", nil), Ret(2, "y", "read", 2),
+		TryC(2), Abort(2),
+	}
+	if !equalEvents(sub, want) {
+		t.Errorf("H1|T2 = %v, want %v", sub, want)
+	}
+	hy := h.Obj("y")
+	if len(hy) != 4 {
+		t.Errorf("H1|y has %d events, want 4 (write exec of T3 + read exec of T2)", len(hy))
+	}
+	for _, e := range hy {
+		if e.Obj != "y" {
+			t.Errorf("H1|y contains event on %s", e.Obj)
+		}
+	}
+}
+
+func TestTransactionsAndObjects(t *testing.T) {
+	h := h1()
+	txs := h.Transactions()
+	if len(txs) != 3 || txs[0] != 1 || txs[1] != 2 || txs[2] != 3 {
+		t.Errorf("Transactions() = %v, want [1 2 3] in first-event order", txs)
+	}
+	objs := h.Objects()
+	if len(objs) != 2 || objs[0] != "x" || objs[1] != "y" {
+		t.Errorf("Objects() = %v, want [x y]", objs)
+	}
+	if !h.Contains(2) || h.Contains(9) {
+		t.Error("Contains misreports membership")
+	}
+}
+
+func TestOpExecs(t *testing.T) {
+	h := h1()
+	execs := h.OpExecs(2)
+	if len(execs) != 2 {
+		t.Fatalf("T2 has %d op execs, want 2", len(execs))
+	}
+	if execs[0].Op != "read" || execs[0].Obj != "x" || execs[0].Ret != 1 || execs[0].Pending {
+		t.Errorf("first exec of T2 = %+v", execs[0])
+	}
+	if execs[1].Obj != "y" || execs[1].Ret != 2 {
+		t.Errorf("second exec of T2 = %+v", execs[1])
+	}
+}
+
+func TestOpExecsPending(t *testing.T) {
+	h := NewBuilder().Write(1, "x", 1).Inv(1, "y", "read", nil).MustHistory()
+	execs := h.OpExecs(1)
+	if len(execs) != 2 {
+		t.Fatalf("got %d execs, want 2", len(execs))
+	}
+	if !execs[1].Pending || execs[1].Obj != "y" {
+		t.Errorf("trailing pending invocation not reported: %+v", execs[1])
+	}
+	if _, ok := h.PendingInv(1); !ok {
+		t.Error("PendingInv should find the pending read")
+	}
+}
+
+func TestPendingInvAbsent(t *testing.T) {
+	h := h1()
+	for _, tx := range h.Transactions() {
+		if _, ok := h.PendingInv(tx); ok {
+			t.Errorf("T%d has no pending invocation in complete H1", tx)
+		}
+	}
+}
+
+func TestStatus(t *testing.T) {
+	h := h1()
+	if !h.Committed(1) || !h.Committed(3) {
+		t.Error("T1 and T3 must be committed in H1")
+	}
+	if !h.Aborted(2) {
+		t.Error("T2 must be aborted in H1")
+	}
+	if !h.ForcefullyAborted(2) {
+		t.Error("T2 is forcefully aborted (no tryA) in H1")
+	}
+	if h.ForcefullyAborted(1) {
+		t.Error("a committed transaction is not forcefully aborted")
+	}
+
+	voluntary := NewBuilder().Read(1, "x", 0).TryA(1).A(1).MustHistory()
+	if voluntary.ForcefullyAborted(1) {
+		t.Error("T1 aborted via tryA is not forcefully aborted")
+	}
+	if !voluntary.Aborted(1) {
+		t.Error("T1 must be aborted")
+	}
+}
+
+func TestStatusCommitPending(t *testing.T) {
+	h := h3()
+	if h.Status(1) != StatusCommitPending {
+		t.Errorf("T1 status = %v, want commit-pending", h.Status(1))
+	}
+	if h.Status(2) != StatusLive {
+		t.Errorf("T2 status = %v, want live", h.Status(2))
+	}
+	if !h.Live(1) || !h.Live(2) {
+		t.Error("commit-pending and in-flight transactions are both live")
+	}
+	cps := h.CommitPendingTxs()
+	if len(cps) != 1 || cps[0] != 1 {
+		t.Errorf("CommitPendingTxs = %v", cps)
+	}
+	if got := h.CommittedTxs(); len(got) != 0 {
+		t.Errorf("CommittedTxs = %v, want none", got)
+	}
+	if got := h.LiveTxs(); len(got) != 2 {
+		t.Errorf("LiveTxs = %v, want two", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusLive:          "live",
+		StatusCommitPending: "commit-pending",
+		StatusCommitted:     "committed",
+		StatusAborted:       "aborted",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestRealTimeOrderH1(t *testing.T) {
+	h := h1()
+	// In H1: T1 ≺ T2, T1 ≺ T3; T2 and T3 are concurrent (paper, §4).
+	if !h.Precedes(1, 2) || !h.Precedes(1, 3) {
+		t.Error("T1 must precede T2 and T3 in H1")
+	}
+	if !h.Concurrent(2, 3) {
+		t.Error("T2 and T3 must be concurrent in H1")
+	}
+	if h.Precedes(2, 3) || h.Precedes(3, 2) {
+		t.Error("no order between concurrent T2 and T3")
+	}
+	if h.Concurrent(1, 1) {
+		t.Error("a transaction is not concurrent with itself")
+	}
+}
+
+func TestPreservesRealTimeOrder(t *testing.T) {
+	// H2 preserves the real-time order of H1 (paper's example).
+	if !PreservesRealTimeOrder(h1(), h2()) {
+		t.Error("H2 must preserve the real-time order of H1")
+	}
+	// The reverse also holds here: ≺H2 has T3 ≺ T2 extra, absent in H1's
+	// order, so PreservesRealTimeOrder(h2, h1) must fail.
+	if PreservesRealTimeOrder(h2(), h1()) {
+		t.Error("H1 does not preserve the order T3 ≺H2 T2")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	if h1().Sequential() {
+		t.Error("H1 is not sequential (T2 and T3 are concurrent)")
+	}
+	if !h2().Sequential() {
+		t.Error("H2 is sequential")
+	}
+	// A live final transaction keeps a history sequential.
+	h := NewBuilder().Write(1, "x", 1).Commits(1).Read(2, "x", 1).MustHistory()
+	if !h.Sequential() {
+		t.Error("history with a single trailing live transaction is sequential")
+	}
+}
+
+func TestCompletePredicate(t *testing.T) {
+	if !h1().Complete() || !h2().Complete() {
+		t.Error("H1 and H2 are complete")
+	}
+	if h3().Complete() {
+		t.Error("H3 has live transactions")
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	if !Equivalent(h1(), h2()) {
+		t.Error("H1 ≡ H2 (paper, §4)")
+	}
+	if !Equivalent(h1(), h1()) {
+		t.Error("equivalence must be reflexive")
+	}
+	// Changing a return value breaks equivalence.
+	h := h1().Clone()
+	for i, e := range h {
+		if e.Kind == KindRet && e.Tx == 2 && e.Obj == "x" {
+			h[i].Ret = 99
+		}
+	}
+	if Equivalent(h1(), h) {
+		t.Error("different response values must break equivalence")
+	}
+	// A history with an extra transaction is not equivalent.
+	if Equivalent(h1(), h1().Append(TryC(9))) {
+		t.Error("extra transaction must break equivalence")
+	}
+	if Equivalent(h1().Append(TryC(9)), h1()) {
+		t.Error("missing transaction must break equivalence")
+	}
+}
+
+func TestRealTimeOrderPairs(t *testing.T) {
+	pairs := h1().RealTimeOrder()
+	want := map[[2]TxID]bool{{1, 2}: true, {1, 3}: true}
+	if len(pairs) != 2 {
+		t.Fatalf("RealTimeOrder = %v, want exactly T1≺T2 and T1≺T3", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := h1()
+	c := h.Clone()
+	c[0].Tx = 42
+	if h[0].Tx == 42 {
+		t.Error("Clone must not share storage")
+	}
+	cat := h.Concat(h2())
+	if len(cat) != len(h)+len(h2()) {
+		t.Errorf("Concat length %d", len(cat))
+	}
+}

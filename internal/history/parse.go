@@ -1,0 +1,180 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses the textual history notation used by cmd/opacheck and by
+// (h History).String(). Tokens are separated by whitespace; supported
+// forms, where <n> is a transaction number:
+//
+//	r<n>(x)->1          read execution on register x returning 1
+//	w<n>(x,1)           write execution (return value ok implied)
+//	w<n>(x,1)->ok       write execution, explicit return
+//	inc<n>(c)->ok       generic operation execution, no argument
+//	add<n>(c,5)->ok     generic operation execution with argument
+//	inv<n>(x.read)      pending operation invocation
+//	inv<n>(x.write,3)   pending operation invocation with argument
+//	ret<n>(x.read)->1   lone operation response (pairs with earlier inv)
+//	tryC<n> C<n> tryA<n> A<n>   control events
+//
+// Values that look like integers parse as int; "ok" parses as the OK
+// constant; anything else parses as a string. Comment lines starting with
+// '#' and blank lines are ignored when parsing multi-line input.
+func Parse(s string) (History, error) {
+	var h History
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			evs, err := parseToken(tok)
+			if err != nil {
+				return nil, fmt.Errorf("history: parsing %q: %w", tok, err)
+			}
+			h = append(h, evs...)
+		}
+	}
+	return h, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and fixtures.
+func MustParse(s string) History {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func parseValue(s string) Value {
+	if s == OK {
+		return OK
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return n
+	}
+	if s == "true" {
+		return true
+	}
+	if s == "false" {
+		return false
+	}
+	return s
+}
+
+// splitHead splits "name123(..." into (name, 123, rest-after-paren) or
+// returns ok=false for tokens without parentheses.
+func splitHead(tok string) (name string, tx TxID, inner string, ok bool) {
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return "", 0, "", false
+	}
+	head := tok[:open]
+	inner = tok[open+1 : len(tok)-1]
+	// The transaction number is the trailing digit run of the head.
+	i := len(head)
+	for i > 0 && head[i-1] >= '0' && head[i-1] <= '9' {
+		i--
+	}
+	if i == len(head) || i == 0 {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(head[i:])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return head[:i], TxID(n), inner, true
+}
+
+func parseToken(tok string) ([]Event, error) {
+	// Control events first: tryC7, tryA7, C7, A7.
+	for _, p := range []struct {
+		prefix string
+		make   func(TxID) Event
+	}{
+		{"tryC", TryC}, {"tryA", TryA}, {"C", Commit}, {"A", Abort},
+	} {
+		if strings.HasPrefix(tok, p.prefix) {
+			if n, err := strconv.Atoi(tok[len(p.prefix):]); err == nil {
+				return []Event{p.make(TxID(n))}, nil
+			}
+		}
+	}
+
+	// Operation-like tokens: head(inner) or head(inner)->ret.
+	body, retStr, hasRet := tok, "", false
+	if i := strings.Index(tok, ")->"); i >= 0 {
+		body, retStr, hasRet = tok[:i+1], tok[i+3:], true
+	}
+	name, tx, inner, ok := splitHead(body)
+	if !ok {
+		return nil, fmt.Errorf("unrecognized token")
+	}
+
+	switch name {
+	case "inv":
+		obj, op, arg, err := parseObjOp(inner)
+		if err != nil {
+			return nil, err
+		}
+		return []Event{Inv(tx, obj, op, arg)}, nil
+	case "ret":
+		obj, op, _, err := parseObjOp(inner)
+		if err != nil {
+			return nil, err
+		}
+		if !hasRet {
+			return nil, fmt.Errorf("ret token requires ->value")
+		}
+		return []Event{Ret(tx, obj, op, parseValue(retStr))}, nil
+	}
+
+	// Operation execution: r2(x)->1, w1(x,1), inc3(c)->ok, ...
+	op := name
+	if op == "r" {
+		op = "read"
+	}
+	if op == "w" {
+		op = "write"
+	}
+	parts := strings.SplitN(inner, ",", 2)
+	obj := ObjID(strings.TrimSpace(parts[0]))
+	var arg Value
+	if len(parts) == 2 {
+		arg = parseValue(strings.TrimSpace(parts[1]))
+	}
+	var ret Value
+	switch {
+	case hasRet:
+		ret = parseValue(retStr)
+	case op == "write":
+		ret = OK
+	default:
+		return nil, fmt.Errorf("operation %q requires ->value", op)
+	}
+	if op == "read" && arg != nil {
+		return nil, fmt.Errorf("read takes no argument")
+	}
+	return []Event{Inv(tx, obj, op, arg), Ret(tx, obj, op, ret)}, nil
+}
+
+// parseObjOp parses "obj.op" or "obj.op,arg".
+func parseObjOp(inner string) (ObjID, string, Value, error) {
+	var argStr string
+	if i := strings.Index(inner, ","); i >= 0 {
+		inner, argStr = inner[:i], strings.TrimSpace(inner[i+1:])
+	}
+	dot := strings.Index(inner, ".")
+	if dot < 0 {
+		return "", "", nil, fmt.Errorf("expected obj.op")
+	}
+	var arg Value
+	if argStr != "" {
+		arg = parseValue(argStr)
+	}
+	return ObjID(strings.TrimSpace(inner[:dot])), strings.TrimSpace(inner[dot+1:]), arg, nil
+}

@@ -1,0 +1,222 @@
+package history
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomHistory builds a random well-formed history directly from a
+// rand.Rand — the generator used by testing/quick via the Generate
+// implementation below.
+func randomHistory(r *rand.Rand) History {
+	type st struct {
+		id    TxID
+		phase txPhase
+		pend  Event
+	}
+	n := 1 + r.Intn(5)
+	txs := make([]*st, n)
+	for i := range txs {
+		txs[i] = &st{id: TxID(i + 1), phase: phaseIdle}
+	}
+	objs := []ObjID{"x", "y", "z"}
+	var h History
+	for steps := r.Intn(30); steps > 0; steps-- {
+		t := txs[r.Intn(n)]
+		switch t.phase {
+		case phaseIdle:
+			switch r.Intn(4) {
+			case 0:
+				e := Inv(t.id, objs[r.Intn(len(objs))], "read", nil)
+				h = append(h, e)
+				t.pend, t.phase = e, phaseOpPending
+			case 1:
+				e := Inv(t.id, objs[r.Intn(len(objs))], "write", r.Intn(100))
+				h = append(h, e)
+				t.pend, t.phase = e, phaseOpPending
+			case 2:
+				h = append(h, TryC(t.id))
+				t.phase = phaseCommitPending
+			case 3:
+				h = append(h, TryA(t.id))
+				t.phase = phaseAbortPending
+			}
+		case phaseOpPending:
+			if r.Intn(8) == 0 {
+				h = append(h, Abort(t.id))
+				t.phase = phaseAborted
+			} else {
+				var ret Value
+				if t.pend.Op == "read" {
+					ret = r.Intn(100)
+				} else {
+					ret = OK
+				}
+				h = append(h, Ret(t.id, t.pend.Obj, t.pend.Op, ret))
+				t.phase = phaseIdle
+			}
+		case phaseCommitPending:
+			if r.Intn(2) == 0 {
+				h = append(h, Commit(t.id))
+				t.phase = phaseCommitted
+			} else {
+				h = append(h, Abort(t.id))
+				t.phase = phaseAborted
+			}
+		case phaseAbortPending:
+			h = append(h, Abort(t.id))
+			t.phase = phaseAborted
+		}
+	}
+	return h
+}
+
+// qh wraps History so testing/quick can generate it.
+type qh struct{ H History }
+
+// Generate implements quick.Generator.
+func (qh) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qh{H: randomHistory(r)})
+}
+
+func TestQuickGeneratedWellFormed(t *testing.T) {
+	f := func(x qh) bool { return x.H.WellFormed() == nil }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEquivalenceReflexive(t *testing.T) {
+	f := func(x qh) bool { return Equivalent(x.H, x.H) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReinterleavingEquivalent(t *testing.T) {
+	// Concatenating per-transaction projections yields an equivalent,
+	// sequential-by-blocks history; equivalence must hold both ways.
+	f := func(x qh) bool {
+		var s History
+		for _, tx := range x.H.Transactions() {
+			s = append(s, x.H.Sub(tx)...)
+		}
+		return Equivalent(x.H, s) && Equivalent(s, x.H)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProjectionPartition(t *testing.T) {
+	// The per-transaction projections partition the events: their total
+	// length equals the history's, and each retains order.
+	f := func(x qh) bool {
+		total := 0
+		for _, tx := range x.H.Transactions() {
+			sub := x.H.Sub(tx)
+			total += len(sub)
+			for _, e := range sub {
+				if e.Tx != tx {
+					return false
+				}
+			}
+		}
+		return total == len(x.H)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRealTimeOrderIsStrictPartialOrder(t *testing.T) {
+	f := func(x qh) bool {
+		txs := x.H.Transactions()
+		for _, a := range txs {
+			if x.H.Precedes(a, a) {
+				return false // irreflexive
+			}
+			for _, b := range txs {
+				if x.H.Precedes(a, b) && x.H.Precedes(b, a) {
+					return false // asymmetric
+				}
+				for _, c := range txs {
+					if x.H.Precedes(a, b) && x.H.Precedes(b, c) && !x.H.Precedes(a, c) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompletionsInvariants(t *testing.T) {
+	f := func(x qh) bool {
+		want := 1
+		for range x.H.CommitPendingTxs() {
+			want *= 2
+		}
+		got := 0
+		ok := true
+		x.H.EachCompletion(func(c History) bool {
+			got++
+			if c.WellFormed() != nil || !c.Complete() {
+				ok = false
+				return false
+			}
+			// Completion extends the original.
+			for i := range x.H {
+				if c[i] != x.H[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	// String() output must reparse to the identical event sequence for
+	// histories with int/OK values (which randomHistory produces).
+	f := func(x qh) bool {
+		back, err := Parse(x.H.String())
+		if err != nil {
+			return false
+		}
+		return equalEvents(back, x.H)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStatusPartition(t *testing.T) {
+	// Every transaction is exactly one of: committed, aborted, live; and
+	// commit-pending implies live.
+	f := func(x qh) bool {
+		for _, tx := range x.H.Transactions() {
+			s := x.H.Status(tx)
+			if s.Completed() == s.Live() {
+				return false
+			}
+			if s == StatusCommitPending && !x.H.Live(tx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

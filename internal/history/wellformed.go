@@ -1,0 +1,109 @@
+package history
+
+import "fmt"
+
+// txPhase is the per-transaction state machine used to decide
+// well-formedness. For every transaction Ti, H|Ti must be a prefix of
+// O · F where O is a sequence of operation executions and F is one of
+// ⟨inv, A⟩, ⟨tryA, A⟩, ⟨tryC, C⟩ or ⟨tryC, A⟩ (paper, §4).
+type txPhase int
+
+const (
+	phaseIdle          txPhase = iota // between operation executions
+	phaseOpPending                    // operation invoked, response pending
+	phaseCommitPending                // tryC issued, C/A pending
+	phaseAbortPending                 // tryA issued, A pending
+	phaseCommitted
+	phaseAborted
+)
+
+// WellFormedError describes the first well-formedness violation found in
+// a history.
+type WellFormedError struct {
+	Index int   // position of the offending event in the history
+	Ev    Event // the offending event
+	Msg   string
+}
+
+func (e *WellFormedError) Error() string {
+	return fmt.Sprintf("history not well-formed at event %d (%s): %s", e.Index, e.Ev, e.Msg)
+}
+
+// WellFormed checks that h is a well-formed history and returns a
+// *WellFormedError describing the first violation, or nil. The rules,
+// from §4 of the paper, applied to each H|Ti independently:
+//
+//   - events strictly alternate invocation / matching response;
+//   - no event follows a commit or abort event;
+//   - only a commit or abort event can follow a commit-try event;
+//   - only an abort event can follow an abort-try event;
+//   - an abort event may arrive in place of an operation response.
+func (h History) WellFormed() error {
+	phase := make(map[TxID]txPhase)
+	pending := make(map[TxID]Event)
+	for i, e := range h {
+		p, seen := phase[e.Tx]
+		if !seen {
+			p = phaseIdle
+		}
+		fail := func(msg string) error {
+			ev := e
+			return &WellFormedError{Index: i, Ev: ev, Msg: msg}
+		}
+		switch p {
+		case phaseCommitted:
+			return fail("event follows commit event")
+		case phaseAborted:
+			return fail("event follows abort event")
+		case phaseIdle:
+			switch e.Kind {
+			case KindInv:
+				phase[e.Tx] = phaseOpPending
+				pending[e.Tx] = e
+			case KindTryCommit:
+				phase[e.Tx] = phaseCommitPending
+			case KindTryAbort:
+				phase[e.Tx] = phaseAbortPending
+			default:
+				return fail("response event with no pending invocation")
+			}
+		case phaseOpPending:
+			switch e.Kind {
+			case KindRet:
+				if !Matches(pending[e.Tx], e) {
+					return fail(fmt.Sprintf("response does not match pending invocation %s", pending[e.Tx]))
+				}
+				phase[e.Tx] = phaseIdle
+			case KindAbort:
+				phase[e.Tx] = phaseAborted
+			default:
+				return fail("invocation while an operation response is pending")
+			}
+		case phaseCommitPending:
+			switch e.Kind {
+			case KindCommit:
+				phase[e.Tx] = phaseCommitted
+			case KindAbort:
+				phase[e.Tx] = phaseAborted
+			default:
+				return fail("only commit or abort may follow a commit-try")
+			}
+		case phaseAbortPending:
+			if e.Kind != KindAbort {
+				return fail("only abort may follow an abort-try")
+			}
+			phase[e.Tx] = phaseAborted
+		}
+	}
+	return nil
+}
+
+// MustWellFormed panics if h is not well-formed. It is intended for test
+// fixtures and example construction where malformed histories are
+// programming errors.
+func (h History) MustWellFormed() History {
+	if err := h.WellFormed(); err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,117 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWellFormedAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		{"empty", nil},
+		{"H1", h1()},
+		{"H2", h2()},
+		{"H3 (commit-pending + live)", h3()},
+		{"pending op invocation", NewBuilder().Inv(1, "x", "read", nil).History()},
+		{"abort instead of op response", NewBuilder().Inv(1, "x", "read", nil).A(1).History()},
+		{"voluntary abort", NewBuilder().Read(1, "x", 0).TryA(1).A(1).History()},
+		{"tryC then A", NewBuilder().Write(1, "x", 1).Aborts(1).History()},
+		{"pending tryA", NewBuilder().Read(1, "x", 0).TryA(1).History()},
+		{"interleaved transactions", h1()},
+	}
+	for _, c := range cases {
+		if err := c.h.WellFormed(); err != nil {
+			t.Errorf("%s: unexpected well-formedness error: %v", c.name, err)
+		}
+	}
+}
+
+func TestWellFormedRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+		want string
+	}{
+		{
+			"event after commit",
+			History{TryC(1), Commit(1), TryC(1)},
+			"follows commit",
+		},
+		{
+			"event after abort",
+			History{TryA(1), Abort(1), TryC(1)},
+			"follows abort",
+		},
+		{
+			"ret without inv",
+			History{Ret(1, "x", "read", 0)},
+			"no pending invocation",
+		},
+		{
+			"mismatched ret object",
+			History{Inv(1, "x", "read", nil), Ret(1, "y", "read", 0)},
+			"does not match",
+		},
+		{
+			"mismatched ret op",
+			History{Inv(1, "x", "read", nil), Ret(1, "x", "write", OK)},
+			"does not match",
+		},
+		{
+			"inv while op pending",
+			History{Inv(1, "x", "read", nil), Inv(1, "y", "read", nil)},
+			"while an operation response is pending",
+		},
+		{
+			"op after tryC",
+			History{TryC(1), Inv(1, "x", "read", nil)},
+			"only commit or abort",
+		},
+		{
+			"commit after tryA",
+			History{TryA(1), Commit(1)},
+			"only abort",
+		},
+		{
+			"commit without tryC",
+			History{Commit(1)},
+			"no pending invocation",
+		},
+	}
+	for _, c := range cases {
+		err := c.h.WellFormed()
+		if err == nil {
+			t.Errorf("%s: expected well-formedness violation", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWellFormedInterleavingOK(t *testing.T) {
+	// Well-formedness is per transaction; arbitrary interleaving across
+	// transactions is fine, including a response of T2 between T1's inv
+	// and ret.
+	h := History{
+		Inv(1, "x", "read", nil),
+		Inv(2, "y", "write", 3),
+		Ret(2, "y", "write", OK),
+		Ret(1, "x", "read", 0),
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("interleaved history should be well-formed: %v", err)
+	}
+}
+
+func TestMustWellFormedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWellFormed must panic on a malformed history")
+		}
+	}()
+	History{Commit(1)}.MustWellFormed()
+}

@@ -1,0 +1,136 @@
+package opg
+
+import (
+	"fmt"
+
+	"otm/internal/history"
+)
+
+// Build constructs the opacity graph OPG(nonlocal(h), ≪, V) of §5.4.
+//
+// order is the total order ≪, given as a permutation of the transactions
+// of h; V is the set of commit-pending transactions whose updates are
+// deemed visible. Build validates its inputs: h must be over registers
+// with unique writes, order must be a permutation of h's transactions,
+// and V must contain only commit-pending transactions of h.
+//
+// Vertices are labelled Lvis (committed or in V) or Lloc; edges carry the
+// labels Lrt, Lrf, Lrw and Lww per the four rules of the definition, all
+// evaluated on nonlocal(h).
+func Build(h history.History, order []history.TxID, V []history.TxID) (*Graph, error) {
+	if !RegisterOnly(h) {
+		return nil, fmt.Errorf("opg: the graph characterization applies to register histories only")
+	}
+	if ok, err := UniqueWrites(h); !ok {
+		return nil, err
+	}
+
+	nl := Nonlocal(h)
+	txs := nl.Transactions()
+	pos := make(map[history.TxID]int, len(order))
+	for i, tx := range order {
+		pos[tx] = i
+	}
+	for _, tx := range txs {
+		if _, ok := pos[tx]; !ok {
+			return nil, fmt.Errorf("opg: order is missing transaction T%d", int(tx))
+		}
+	}
+	if len(order) != len(txs) {
+		return nil, fmt.Errorf("opg: order has %d transactions, history has %d", len(order), len(txs))
+	}
+
+	inV := make(map[history.TxID]bool, len(V))
+	for _, tx := range V {
+		if !h.CommitPending(tx) {
+			return nil, fmt.Errorf("opg: T%d in V is not commit-pending", int(tx))
+		}
+		inV[tx] = true
+	}
+
+	g := newGraph(txs)
+	for _, tx := range txs {
+		g.Vis[tx] = inV[tx] || h.Committed(tx)
+	}
+
+	// Per-transaction read and write sets over nonlocal(h), and the
+	// reads-from relation (unique writes make the writer of each read
+	// value unambiguous).
+	writers := writersOf(nl)
+	readsVals := make(map[history.TxID][]history.OpExec) // completed nonlocal reads
+	writesTo := make(map[history.TxID]map[history.ObjID]bool)
+	for _, tx := range txs {
+		for _, e := range nl.OpExecs(tx) {
+			switch {
+			case e.Op == "read" && !e.Pending:
+				readsVals[tx] = append(readsVals[tx], e)
+			case e.Op == "write":
+				if writesTo[tx] == nil {
+					writesTo[tx] = make(map[history.ObjID]bool)
+				}
+				writesTo[tx][e.Obj] = true
+			}
+		}
+	}
+	// readsFrom[tk] lists (writer, register) pairs for tk's reads.
+	type rf struct {
+		writer history.TxID
+		reg    history.ObjID
+	}
+	readsFrom := make(map[history.TxID][]rf)
+	for _, tk := range txs {
+		for _, e := range readsVals[tk] {
+			if w, ok := writers[writeKey{e.Obj, e.Ret}]; ok {
+				readsFrom[tk] = append(readsFrom[tk], rf{w, e.Obj})
+			}
+		}
+	}
+
+	// Rule 1 (Lrt): Ti ≺nl Tk.
+	for _, p := range nl.RealTimeOrder() {
+		g.addEdge(p[0], p[1], Lrt)
+	}
+
+	// Rule 2 (Lrf): Tk reads from Ti.
+	for _, tk := range txs {
+		for _, r := range readsFrom[tk] {
+			if r.writer != tk {
+				g.addEdge(r.writer, tk, Lrf)
+			}
+		}
+	}
+
+	// Rule 3 (Lrw): Ti ≪ Tk and Ti reads a register written by Tk.
+	for _, ti := range txs {
+		for _, e := range readsVals[ti] {
+			for _, tk := range txs {
+				if tk == ti || pos[ti] >= pos[tk] {
+					continue
+				}
+				if writesTo[tk][e.Obj] {
+					g.addEdge(ti, tk, Lrw)
+				}
+			}
+		}
+	}
+
+	// Rule 4 (Lww): Ti visible, Ti ≪ Tm, Ti writes r, Tm reads r from Tk
+	// ⇒ edge Ti → Tk.
+	for _, ti := range txs {
+		if !g.Vis[ti] {
+			continue
+		}
+		for _, tm := range txs {
+			if tm == ti || pos[ti] >= pos[tm] {
+				continue
+			}
+			for _, r := range readsFrom[tm] {
+				if writesTo[ti][r.reg] && r.writer != ti {
+					g.addEdge(ti, r.writer, Lww)
+				}
+			}
+		}
+	}
+
+	return g, nil
+}

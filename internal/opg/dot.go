@@ -1,0 +1,55 @@
+package opg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"otm/internal/history"
+)
+
+// DOT renders the opacity graph in Graphviz dot syntax: Lvis vertices are
+// solid, Lloc vertices dashed; edge labels list the relation labels.
+// Pipe the output through `dot -Tsvg` to visualize a history's
+// dependency structure or an opacity violation cycle.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	txs := append([]history.TxID(nil), g.Txs...)
+	sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
+	for _, tx := range txs {
+		style := "dashed"
+		label := "loc"
+		if g.Vis[tx] {
+			style = "solid"
+			label = "vis"
+		}
+		fmt.Fprintf(&b, "  T%d [style=%s, xlabel=%q];\n", int(tx), style, label)
+	}
+	type row struct {
+		key    [2]history.TxID
+		labels []string
+	}
+	rows := make([]row, 0, len(g.Edges))
+	for key, labels := range g.Edges {
+		var ls []string
+		for _, l := range []Label{Lrt, Lrf, Lrw, Lww} {
+			if labels[l] {
+				ls = append(ls, string(l))
+			}
+		}
+		rows = append(rows, row{key, ls})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].key[0] != rows[j].key[0] {
+			return rows[i].key[0] < rows[j].key[0]
+		}
+		return rows[i].key[1] < rows[j].key[1]
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  T%d -> T%d [label=%q];\n",
+			int(r.key[0]), int(r.key[1]), strings.Join(r.labels, ","))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

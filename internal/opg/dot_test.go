@@ -1,0 +1,52 @@
+package opg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	h := figure1()
+	txs := Nonlocal(h).Transactions()
+	g, err := Build(h, txs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("fig1")
+	for _, want := range []string{
+		"digraph \"fig1\"",
+		"T0 [style=solid",
+		"T2 [style=solid", // aborted T2 is not Lvis... see below
+		"->",
+		"rt",
+		"}",
+	} {
+		if want == "T2 [style=solid" {
+			// Aborted T2 is Lloc: dashed.
+			if !strings.Contains(dot, "T2 [style=dashed") {
+				t.Errorf("aborted T2 must render dashed (Lloc):\n%s", dot)
+			}
+			continue
+		}
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every edge of the graph appears.
+	edgeCount := strings.Count(dot, "->")
+	if edgeCount != len(g.Edges) {
+		t.Errorf("DOT has %d edges, graph has %d", edgeCount, len(g.Edges))
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	h := figure2()
+	txs := Nonlocal(h).Transactions()
+	g, err := Build(h, txs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DOT("x") != g.DOT("x") {
+		t.Error("DOT output must be deterministic")
+	}
+}

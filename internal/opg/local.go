@@ -1,0 +1,211 @@
+package opg
+
+import (
+	"fmt"
+
+	"otm/internal/history"
+)
+
+// isRead reports whether an event is part of a read operation on a
+// register; isWrite likewise for writes. The graph characterization is
+// defined for histories over read/write registers only (§5.4).
+func isRead(e history.Event) bool  { return e.Op == "read" }
+func isWrite(e history.Event) bool { return e.Op == "write" }
+
+// RegisterOnly reports whether every operation event in h is a register
+// read or write, as required by the graph characterization.
+func RegisterOnly(h history.History) bool {
+	for _, e := range h {
+		if e.Kind != history.KindInv && e.Kind != history.KindRet {
+			continue
+		}
+		if !isRead(e) && !isWrite(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nonlocal returns nonlocal(H): the longest subsequence of h with every
+// local operation execution removed (both its events). A read_i(r, v) is
+// local if it is preceded in H|Ti by a write_i(r, ·); a write_i(r, v) is
+// local if it is followed in H|Ti by another write_i(r, ·) (paper, §5.4).
+// A pending write invocation counts as a write (the paper's "Ti writes v
+// to r" requires only the invocation), so it localizes earlier writes to
+// the same register.
+func Nonlocal(h history.History) history.History {
+	// For each (tx, reg): index (within h) of the last write invocation.
+	lastWrite := make(map[history.TxID]map[history.ObjID]int)
+	firstWrite := make(map[history.TxID]map[history.ObjID]int)
+	for i, e := range h {
+		if e.Kind != history.KindInv || !isWrite(e) {
+			continue
+		}
+		if lastWrite[e.Tx] == nil {
+			lastWrite[e.Tx] = make(map[history.ObjID]int)
+			firstWrite[e.Tx] = make(map[history.ObjID]int)
+		}
+		if _, ok := firstWrite[e.Tx][e.Obj]; !ok {
+			firstWrite[e.Tx][e.Obj] = i
+		}
+		lastWrite[e.Tx][e.Obj] = i
+	}
+
+	drop := make([]bool, len(h))
+	for i, e := range h {
+		if e.Kind != history.KindInv {
+			continue
+		}
+		local := false
+		switch {
+		case isWrite(e):
+			local = lastWrite[e.Tx][e.Obj] > i
+		case isRead(e):
+			if fw, ok := firstWrite[e.Tx]; ok {
+				if wi, ok := fw[e.Obj]; ok && wi < i {
+					local = true
+				}
+			}
+		}
+		if local {
+			drop[i] = true
+			// Drop the matching response too: the next event of this
+			// transaction, when it is the matching ret.
+			for j := i + 1; j < len(h); j++ {
+				if h[j].Tx == e.Tx {
+					if h[j].Kind == history.KindRet && history.Matches(e, h[j]) {
+						drop[j] = true
+					}
+					break
+				}
+			}
+		}
+	}
+
+	var out history.History
+	for i, e := range h {
+		if !drop[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LocallyConsistent reports whether h is locally-consistent: every local
+// read read_i(r, v) returns the value of the latest preceding write by
+// the same transaction to r (paper, §5.4). It returns a description of
+// the first violation otherwise.
+func LocallyConsistent(h history.History) (bool, error) {
+	// latest[tx][reg] is the value of the transaction's latest completed
+	// or pending write invocation to reg seen so far.
+	latest := make(map[history.TxID]map[history.ObjID]history.Value)
+	for _, e := range h {
+		switch {
+		case e.Kind == history.KindInv && isWrite(e):
+			if latest[e.Tx] == nil {
+				latest[e.Tx] = make(map[history.ObjID]history.Value)
+			}
+			latest[e.Tx][e.Obj] = e.Arg
+		case e.Kind == history.KindRet && isRead(e):
+			if m, ok := latest[e.Tx]; ok {
+				if v, ok := m[e.Obj]; ok && v != e.Ret {
+					return false, fmt.Errorf(
+						"opg: local read by T%d of %s returned %v, latest own write is %v",
+						int(e.Tx), e.Obj, e.Ret, v)
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// UniqueWrites checks the standing assumption that no two write
+// operations write the same value to the same register. It reports the
+// first duplicate otherwise.
+func UniqueWrites(h history.History) (bool, error) {
+	type wk struct {
+		obj history.ObjID
+		v   history.Value
+	}
+	seen := make(map[wk]history.TxID)
+	for _, e := range h {
+		if e.Kind != history.KindInv || !isWrite(e) {
+			continue
+		}
+		k := wk{e.Obj, e.Arg}
+		if prev, dup := seen[k]; dup {
+			return false, fmt.Errorf(
+				"opg: writes of %v to %s by both T%d and T%d violate the unique-writes assumption",
+				e.Arg, e.Obj, int(prev), int(e.Tx))
+		}
+		seen[k] = e.Tx
+	}
+	return true, nil
+}
+
+// Consistent reports whether h is consistent (paper, §5.4): h is
+// locally-consistent and every nonlocal read of value v from register r
+// is matched by some transaction writing v to r in nonlocal(h).
+func Consistent(h history.History) (bool, error) {
+	if ok, err := LocallyConsistent(h); !ok {
+		return false, err
+	}
+	nl := Nonlocal(h)
+	writers := writersOf(nl)
+	for _, tx := range nl.Transactions() {
+		for _, e := range nl.OpExecs(tx) {
+			if e.Pending || e.Op != "read" {
+				continue
+			}
+			if _, ok := writers[writeKey{e.Obj, e.Ret}]; !ok {
+				return false, fmt.Errorf(
+					"opg: T%d reads %v from %s but no transaction writes it in nonlocal(H)",
+					int(tx), e.Ret, e.Obj)
+			}
+		}
+	}
+	return true, nil
+}
+
+type writeKey struct {
+	obj history.ObjID
+	v   history.Value
+}
+
+// writersOf maps (register, value) to the transaction writing that value
+// in h. Assumes unique writes.
+func writersOf(h history.History) map[writeKey]history.TxID {
+	out := make(map[writeKey]history.TxID)
+	for _, e := range h {
+		if e.Kind == history.KindInv && isWrite(e) {
+			out[writeKey{e.Obj, e.Arg}] = e.Tx
+		}
+	}
+	return out
+}
+
+// WithInit prepends the initializing committed transaction T0 writing
+// initial to every register of h (and any extra registers listed),
+// satisfying the characterization's second standing assumption. It
+// panics if h already contains transaction T0.
+func WithInit(h history.History, initial history.Value, extra ...history.ObjID) history.History {
+	if h.Contains(InitTx) {
+		panic("opg: history already contains T0")
+	}
+	seen := make(map[history.ObjID]bool)
+	var regs []history.ObjID
+	for _, r := range append(h.Objects(), extra...) {
+		if !seen[r] {
+			seen[r] = true
+			regs = append(regs, r)
+		}
+	}
+	var init history.History
+	for _, r := range regs {
+		init = append(init,
+			history.Inv(InitTx, r, "write", initial),
+			history.Ret(InitTx, r, "write", history.OK))
+	}
+	init = append(init, history.TryC(InitTx), history.Commit(InitTx))
+	return init.Concat(h)
+}

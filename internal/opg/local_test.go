@@ -1,0 +1,181 @@
+package opg
+
+import (
+	"strings"
+	"testing"
+
+	"otm/internal/history"
+)
+
+func TestNonlocalRemovesLocalOps(t *testing.T) {
+	// T1: write x=1 (local: overwritten), read x=1 (local: own write),
+	// write x=2 (nonlocal: last write).
+	h := history.NewBuilder().
+		Write(1, "x", 1).
+		Read(1, "x", 1).
+		Write(1, "x", 2).
+		Commits(1).
+		MustHistory()
+	nl := Nonlocal(h)
+	execs := nl.OpExecs(1)
+	if len(execs) != 1 {
+		t.Fatalf("nonlocal(H)|T1 has %d ops, want only the final write: %v", len(execs), execs)
+	}
+	if execs[0].Op != "write" || execs[0].Arg != 2 {
+		t.Errorf("surviving op = %+v, want write(x,2)", execs[0])
+	}
+	// Control events survive.
+	if !nl.Committed(1) {
+		t.Error("commit events must survive Nonlocal")
+	}
+}
+
+func TestNonlocalKeepsForeignReads(t *testing.T) {
+	// A read with no preceding own write is nonlocal even if another
+	// transaction wrote the register.
+	h := history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory()
+	nl := Nonlocal(h)
+	if len(nl.OpExecs(2)) != 1 {
+		t.Error("T2's read is nonlocal")
+	}
+	if len(nl.OpExecs(1)) != 1 {
+		t.Error("T1's single write is nonlocal")
+	}
+}
+
+func TestNonlocalPendingWriteLocalizes(t *testing.T) {
+	// A pending write invocation counts as a write, so the earlier write
+	// to the same register becomes local.
+	h := history.NewBuilder().
+		Write(1, "x", 1).
+		Inv(1, "x", "write", 2).
+		MustHistory()
+	nl := Nonlocal(h)
+	execs := nl.OpExecs(1)
+	if len(execs) != 1 || !execs[0].Pending || execs[0].Arg != 2 {
+		t.Errorf("only the pending write(x,2) should survive: %v", execs)
+	}
+}
+
+func TestNonlocalReadAfterWriteOtherRegister(t *testing.T) {
+	// Writing y does not localize a read of x.
+	h := history.NewBuilder().
+		Write(1, "y", 1).
+		Read(1, "x", 0).
+		Commits(1).
+		MustHistory()
+	nl := Nonlocal(h)
+	if len(nl.OpExecs(1)) != 2 {
+		t.Error("read of x must stay nonlocal after a write to y")
+	}
+}
+
+func TestLocallyConsistent(t *testing.T) {
+	good := history.NewBuilder().
+		Write(1, "x", 1).Read(1, "x", 1).Commits(1).
+		MustHistory()
+	if ok, err := LocallyConsistent(good); !ok {
+		t.Errorf("read-own-write is locally consistent: %v", err)
+	}
+	bad := history.NewBuilder().
+		Write(1, "x", 1).Read(1, "x", 7).Commits(1).
+		MustHistory()
+	ok, err := LocallyConsistent(bad)
+	if ok {
+		t.Fatal("read of 7 after own write of 1 is locally inconsistent")
+	}
+	if !strings.Contains(err.Error(), "T1") {
+		t.Errorf("error %q should name T1", err)
+	}
+	// Reads with no own write are unconstrained by local consistency.
+	foreign := history.NewBuilder().Read(1, "x", 42).MustHistory()
+	if ok, _ := LocallyConsistent(foreign); !ok {
+		t.Error("foreign reads are not local reads")
+	}
+}
+
+func TestUniqueWrites(t *testing.T) {
+	if ok, _ := UniqueWrites(history.NewBuilder().
+		Write(1, "x", 1).Write(2, "x", 2).Write(1, "y", 1).MustHistory()); !ok {
+		t.Error("same value on different registers is fine")
+	}
+	ok, err := UniqueWrites(history.NewBuilder().
+		Write(1, "x", 1).Write(2, "x", 1).MustHistory())
+	if ok {
+		t.Fatal("duplicate write of 1 to x must be rejected")
+	}
+	if !strings.Contains(err.Error(), "unique-writes") {
+		t.Errorf("error %q should mention the assumption", err)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	// Read of a value nobody wrote (and not detectable locally).
+	h := history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 9).Commits(2).
+		MustHistory()
+	ok, err := Consistent(h)
+	if ok {
+		t.Fatal("read of unwritten 9 is inconsistent")
+	}
+	if !strings.Contains(err.Error(), "9") {
+		t.Errorf("error %q should mention the value", err)
+	}
+	good := history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory()
+	if ok, err := Consistent(good); !ok {
+		t.Errorf("reads-from-writer history is consistent: %v", err)
+	}
+}
+
+func TestConsistentCatchesLocalViolationFirst(t *testing.T) {
+	h := history.NewBuilder().
+		Write(1, "x", 1).Read(1, "x", 3).Write(1, "x", 2).Commits(1).
+		MustHistory()
+	if ok, _ := Consistent(h); ok {
+		t.Error("locally inconsistent history is inconsistent")
+	}
+}
+
+func TestWithInit(t *testing.T) {
+	h := history.NewBuilder().Read(1, "x", 0).Commits(1).MustHistory()
+	hi := WithInit(h, 0, "y")
+	if !hi.Committed(InitTx) {
+		t.Fatal("T0 must be committed")
+	}
+	// T0 writes both x (from h) and y (extra).
+	execs := hi.OpExecs(InitTx)
+	if len(execs) != 2 {
+		t.Fatalf("T0 writes %d registers, want 2", len(execs))
+	}
+	if !hi.Precedes(InitTx, 1) {
+		t.Error("T0 must precede every other transaction")
+	}
+	if ok, _ := Consistent(hi); !ok {
+		t.Error("T0 makes the initial read of 0 consistent")
+	}
+}
+
+func TestWithInitPanicsOnExistingT0(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithInit must panic when T0 already exists")
+		}
+	}()
+	WithInit(history.NewBuilder().Write(0, "x", 1).MustHistory(), 0)
+}
+
+func TestRegisterOnly(t *testing.T) {
+	if !RegisterOnly(history.NewBuilder().Write(1, "x", 1).Read(1, "x", 1).MustHistory()) {
+		t.Error("register history misclassified")
+	}
+	if RegisterOnly(history.NewBuilder().Op(1, "c", "inc", nil, history.OK).MustHistory()) {
+		t.Error("counter history is not register-only")
+	}
+}

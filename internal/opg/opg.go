@@ -1,0 +1,174 @@
+// Package opg implements the graph characterization of opacity from §5.4
+// of Guerraoui & Kapałka, "On the Correctness of Transactional Memory"
+// (PPoPP 2008): the opacity graph OPG(H, ≪, V) and Theorem 2, which
+// states that a history H (over read/write registers) is opaque iff H is
+// consistent and there exist a total order ≪ on its transactions and a
+// subset V of its commit-pending transactions such that
+// OPG(nonlocal(H), ≪, V) is well-formed and acyclic.
+//
+// The characterization applies under the paper's two standing
+// assumptions, which this package checks and enforces:
+//
+//  1. no two write operations write the same value to the same register
+//     (unique writes — the paper suggests tagging values with a local
+//     timestamp and writer id);
+//  2. the history starts with an initializing committed transaction T0
+//     that writes a value to every register (see WithInit).
+package opg
+
+import (
+	"fmt"
+	"sort"
+
+	"otm/internal/history"
+)
+
+// InitTx is the conventional identifier of the initializing transaction.
+const InitTx history.TxID = 0
+
+// Label classifies opacity-graph edges and vertices.
+type Label string
+
+// Edge labels (paper, §5.4) and vertex labels.
+const (
+	Lrt  Label = "rt"  // real-time order: Ti ≺H Tk
+	Lrf  Label = "rf"  // reads-from: Tk reads a value written by Ti
+	Lrw  Label = "rw"  // anti-dependency: Ti ≪ Tk and Ti reads a register written by Tk
+	Lww  Label = "ww"  // write order: visible Ti ≪ Tm and Tm reads from Tk ⇒ Ti before Tk
+	Lvis Label = "vis" // vertex: committed or in V (updates visible)
+	Lloc Label = "loc" // vertex: updates local only
+)
+
+// Graph is an opacity graph: a directed multigraph over the transactions
+// of a history with labelled edges and vertex visibility labels.
+type Graph struct {
+	// Txs are the vertices in first-event order.
+	Txs []history.TxID
+	// Vis[tx] is true when the vertex is labelled Lvis (committed or in
+	// V), false for Lloc.
+	Vis map[history.TxID]bool
+	// Edges maps ordered pairs to the set of labels on that edge.
+	Edges map[[2]history.TxID]map[Label]bool
+}
+
+func newGraph(txs []history.TxID) *Graph {
+	return &Graph{
+		Txs:   txs,
+		Vis:   make(map[history.TxID]bool, len(txs)),
+		Edges: make(map[[2]history.TxID]map[Label]bool),
+	}
+}
+
+func (g *Graph) addEdge(from, to history.TxID, l Label) {
+	key := [2]history.TxID{from, to}
+	m, ok := g.Edges[key]
+	if !ok {
+		m = make(map[Label]bool, 2)
+		g.Edges[key] = m
+	}
+	m[l] = true
+}
+
+// HasEdge reports whether the graph has an edge from → to with label l.
+func (g *Graph) HasEdge(from, to history.TxID, l Label) bool {
+	return g.Edges[[2]history.TxID{from, to}][l]
+}
+
+// WellFormed reports whether the graph is well-formed: no vertex labelled
+// Lloc has an outgoing Lrf edge (a transaction whose updates are not
+// visible must not be read from).
+func (g *Graph) WellFormed() bool {
+	for key, labels := range g.Edges {
+		if labels[Lrf] && !g.Vis[key[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the graph has no directed cycle (self-loops
+// count as cycles).
+func (g *Graph) Acyclic() bool { return g.Cycle() == nil }
+
+// Cycle returns the vertices of some directed cycle, or nil if the graph
+// is acyclic.
+func (g *Graph) Cycle() []history.TxID {
+	adj := make(map[history.TxID][]history.TxID, len(g.Txs))
+	for key := range g.Edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, outs := range adj {
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[history.TxID]int, len(g.Txs))
+	var stack []history.TxID
+	var cycle []history.TxID
+
+	var dfs func(v history.TxID) bool
+	dfs = func(v history.TxID) bool {
+		color[v] = gray
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				// Found a back edge; extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == w {
+						cycle = append([]history.TxID(nil), stack[i:]...)
+						return true
+					}
+				}
+				cycle = []history.TxID{w}
+				return true
+			case white:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[v] = black
+		return false
+	}
+	for _, v := range g.Txs {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// String renders the graph compactly for diagnostics: one line per edge,
+// sorted, with labels.
+func (g *Graph) String() string {
+	type row struct {
+		key    [2]history.TxID
+		labels []string
+	}
+	rows := make([]row, 0, len(g.Edges))
+	for key, labels := range g.Edges {
+		var ls []string
+		for _, l := range []Label{Lrt, Lrf, Lrw, Lww} {
+			if labels[l] {
+				ls = append(ls, string(l))
+			}
+		}
+		rows = append(rows, row{key, ls})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].key[0] != rows[j].key[0] {
+			return rows[i].key[0] < rows[j].key[0]
+		}
+		return rows[i].key[1] < rows[j].key[1]
+	})
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("T%d -> T%d %v\n", int(r.key[0]), int(r.key[1]), r.labels)
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package opg
+
+import (
+	"strings"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/history"
+)
+
+// figure1 is the paper's H1 with the initializing transaction T0 writing
+// 0 to x and y (the characterization's standing assumption).
+func figure1() history.History {
+	return WithInit(history.MustParse(
+		"w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2"), 0)
+}
+
+// figure2 is the paper's opaque H5 with T0.
+func figure2() history.History {
+	h := history.History{
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", history.OK),
+		history.Inv(2, "y", "write", 2), history.Ret(2, "y", "write", history.OK),
+		history.TryC(2),
+		history.Inv(1, "x", "read", nil),
+		history.Commit(2),
+		history.Inv(3, "y", "write", 3),
+		history.Ret(1, "x", "read", 1), history.Inv(1, "x", "write", 5),
+		history.Ret(3, "y", "write", history.OK),
+		history.Ret(1, "x", "write", history.OK), history.Inv(1, "y", "read", nil),
+		history.Inv(3, "x", "read", nil),
+		history.Ret(1, "y", "read", 2), history.TryC(1),
+		history.Ret(3, "x", "read", 1), history.TryC(3),
+		history.Abort(1),
+		history.Commit(3),
+	}.MustWellFormed()
+	return WithInit(h, 0)
+}
+
+// h4 is the paper's H4 (§5.2) with T0: T2 commit-pending, T3 sees its
+// write, T1 does not.
+func h4() history.History {
+	return WithInit(history.NewBuilder().
+		Read(1, "x", 0).
+		Write(2, "x", 5).Write(2, "y", 5).TryC(2).
+		Read(3, "y", 5).
+		Read(1, "y", 0).
+		MustHistory(), 0)
+}
+
+func TestBuildEdgesSimple(t *testing.T) {
+	// T1 writes and commits, T2 reads from T1: Lrt (T0→all, T1→T2) and
+	// Lrf (T1→T2).
+	h := WithInit(history.NewBuilder().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory(), 0)
+	txs := Nonlocal(h).Transactions()
+	g, err := Build(h, txs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 2, Lrf) {
+		t.Error("missing reads-from edge T1→T2")
+	}
+	if !g.HasEdge(0, 1, Lrt) || !g.HasEdge(1, 2, Lrt) {
+		t.Error("missing real-time edges")
+	}
+	if !g.Vis[1] || !g.Vis[2] || !g.Vis[0] {
+		t.Error("committed transactions must be labelled Lvis")
+	}
+	if !g.WellFormed() || !g.Acyclic() {
+		t.Errorf("graph must be well-formed and acyclic:\n%s", g)
+	}
+}
+
+func TestBuildRwEdgeDependsOnOrder(t *testing.T) {
+	// T1 reads x=0 (from T0); T2 writes x=5 concurrently.
+	h := WithInit(history.History{
+		history.Inv(1, "x", "read", nil),
+		history.Inv(2, "x", "write", 5), history.Ret(2, "x", "write", history.OK),
+		history.Ret(1, "x", "read", 0),
+		history.TryC(1), history.Commit(1),
+		history.TryC(2), history.Commit(2),
+	}.MustWellFormed(), 0)
+	// Order T1 ≪ T2: anti-dependency edge T1→T2.
+	g, err := Build(h, []history.TxID{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 2, Lrw) {
+		t.Errorf("T1 ≪ T2 with T1 reading x written by T2 needs an Lrw edge:\n%s", g)
+	}
+	// Order T2 ≪ T1: no Lrw edge from T1, but Lww: T0 visible, T0 ≪ T1,
+	// T0 writes x, T1 reads x from T0 — no, that's reads-from T0 itself.
+	// T2 visible, T2 ≪ T1, T2 writes x, T1 reads x from T0 ⇒ Lww T2→T0.
+	g2, err := Build(h, []history.TxID{0, 2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.HasEdge(1, 2, Lrw) {
+		t.Error("no Lrw edge when T2 ≪ T1")
+	}
+	if !g2.HasEdge(2, 0, Lww) {
+		t.Errorf("T2 ≪ T1, T2 writes x, T1 reads x from T0 ⇒ Lww T2→T0:\n%s", g2)
+	}
+	// That Lww edge closes a cycle with Lrt T0→T2, so this order loses.
+	if g2.Acyclic() {
+		t.Error("order T2 ≪ T1 must be cyclic (T2 cannot be serialized before the initializer it overwrote)")
+	}
+	if !g.Acyclic() {
+		t.Error("order T1 ≪ T2 must be acyclic")
+	}
+}
+
+func TestWellFormedness(t *testing.T) {
+	// A live transaction's write read by another: Lrf out of an Lloc
+	// vertex → ill-formed (for V = ∅).
+	h := WithInit(history.History{
+		history.Inv(1, "x", "write", 1), history.Ret(1, "x", "write", history.OK),
+		history.Inv(2, "x", "read", nil), history.Ret(2, "x", "read", 1),
+		history.TryC(2), history.Commit(2),
+	}.MustWellFormed(), 0)
+	txs := Nonlocal(h).Transactions()
+	g, err := Build(h, txs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Vis[1] {
+		t.Fatal("live T1 with V=∅ must be Lloc")
+	}
+	if g.WellFormed() {
+		t.Error("reading from an Lloc transaction must be ill-formed")
+	}
+}
+
+func TestVMakesCommitPendingVisible(t *testing.T) {
+	h := WithInit(history.NewBuilder().
+		Write(1, "x", 1).TryC(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory(), 0)
+	txs := Nonlocal(h).Transactions()
+	g, err := Build(h, txs, []history.TxID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Vis[1] {
+		t.Error("T1 ∈ V must be labelled Lvis")
+	}
+	if !g.WellFormed() {
+		t.Error("with T1 visible the graph is well-formed")
+	}
+	// V may contain only commit-pending transactions.
+	if _, err := Build(h, txs, []history.TxID{2}); err == nil {
+		t.Error("committed T2 must be rejected as a V member")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	h := figure1()
+	if _, err := Build(h, nil, nil); err == nil {
+		t.Error("order missing transactions must be rejected")
+	}
+	counter := history.NewBuilder().Op(1, "c", "inc", nil, history.OK).Commits(1).MustHistory()
+	if _, err := Build(counter, []history.TxID{1}, nil); err == nil {
+		t.Error("non-register history must be rejected")
+	}
+	dup := history.NewBuilder().Write(1, "x", 1).Write(2, "x", 1).MustHistory()
+	if _, err := Build(dup, []history.TxID{1, 2}, nil); err == nil {
+		t.Error("duplicate writes must be rejected")
+	}
+}
+
+func TestCycleExtraction(t *testing.T) {
+	g := newGraph([]history.TxID{1, 2, 3})
+	g.addEdge(1, 2, Lrt)
+	g.addEdge(2, 3, Lrt)
+	if c := g.Cycle(); c != nil {
+		t.Errorf("acyclic graph reported cycle %v", c)
+	}
+	g.addEdge(3, 1, Lrw)
+	c := g.Cycle()
+	if len(c) != 3 {
+		t.Errorf("cycle = %v, want all three vertices", c)
+	}
+	// Self-loop.
+	g2 := newGraph([]history.TxID{1})
+	g2.addEdge(1, 1, Lww)
+	if g2.Acyclic() {
+		t.Error("self-loop must be cyclic")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	h := figure1()
+	txs := Nonlocal(h).Transactions()
+	g, err := Build(h, txs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	if !strings.Contains(s, "->") || !strings.Contains(s, "rf") {
+		t.Errorf("graph rendering looks wrong:\n%s", s)
+	}
+}
+
+func TestTheorem2Figure1NotOpaque(t *testing.T) {
+	res, err := CheckTheorem2(figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("H1 is consistent; reason: %v", res.Reason)
+	}
+	if res.Opaque {
+		t.Errorf("H1 must not be opaque by Theorem 2 (order %v, V %v)", res.Order, res.V)
+	}
+}
+
+func TestTheorem2Figure2Opaque(t *testing.T) {
+	res, err := CheckTheorem2(figure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatal("H5 must be opaque by Theorem 2")
+	}
+	if !res.Graph.WellFormed() || !res.Graph.Acyclic() {
+		t.Error("witness graph must be well-formed and acyclic")
+	}
+}
+
+func TestTheorem2H4OpaqueWithV(t *testing.T) {
+	res, err := CheckTheorem2(h4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatal("H4 must be opaque by Theorem 2")
+	}
+	// T3 reads commit-pending T2's write, so T2 must be in V.
+	found := false
+	for _, tx := range res.V {
+		if tx == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witness V = %v must contain commit-pending T2", res.V)
+	}
+}
+
+func TestTheorem2InconsistentShortCircuit(t *testing.T) {
+	h := WithInit(history.NewBuilder().Read(1, "x", 99).Commits(1).MustHistory(), 0)
+	res, err := CheckTheorem2(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent || res.Opaque {
+		t.Error("read of unwritten 99 must fail the consistency precondition")
+	}
+	if res.Reason == nil {
+		t.Error("missing inconsistency reason")
+	}
+}
+
+func TestTheorem2Errors(t *testing.T) {
+	if _, err := CheckTheorem2(history.History{history.Commit(1)}); err == nil {
+		t.Error("malformed history must error")
+	}
+	counter := history.NewBuilder().Op(1, "c", "inc", nil, history.OK).Commits(1).MustHistory()
+	if _, err := CheckTheorem2(counter); err == nil {
+		t.Error("non-register history must error")
+	}
+	var big history.History
+	for tx := history.TxID(1); tx <= 10; tx++ {
+		big = append(big,
+			history.Inv(tx, "x", "write", int(tx)),
+			history.Ret(tx, "x", "write", history.OK),
+			history.TryC(tx), history.Commit(tx))
+	}
+	if _, err := CheckTheorem2(big.MustWellFormed()); err == nil {
+		t.Error("transaction count beyond the search bound must error")
+	}
+}
+
+func TestTheorem2EmptyHistory(t *testing.T) {
+	res, err := CheckTheorem2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Error("the empty history is opaque")
+	}
+}
+
+// Differential check on the paper's fixed examples: Theorem 2 must agree
+// with the definitional checker of internal/core. (Random differential
+// testing lives in internal/gen.)
+func TestTheorem2AgreesWithDefinitionOnPaperExamples(t *testing.T) {
+	cases := map[string]history.History{
+		"H1":  figure1(),
+		"H5":  figure2(),
+		"H4":  h4(),
+		"rw":  WithInit(history.MustParse("w1(x,1) tryC1 C1 r2(x)->1 tryC2 C2"), 0),
+		"rt":  WithInit(history.MustParse("w1(x,1) tryC1 C1 r2(x)->0 tryC2 C2"), 0),
+		"cp":  WithInit(history.MustParse("w1(x,1) tryC1 r2(x)->1 tryC2 C2"), 0),
+		"cp2": WithInit(history.MustParse("w1(x,1) tryC1 r2(x)->0 tryC2 C2"), 0),
+	}
+	for name, h := range cases {
+		defRes, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("%s: core: %v", name, err)
+		}
+		gRes, err := CheckTheorem2(h)
+		if err != nil {
+			t.Fatalf("%s: opg: %v", name, err)
+		}
+		if defRes.Opaque != gRes.Opaque {
+			t.Errorf("%s: definitional checker says %v, Theorem 2 says %v",
+				name, defRes.Opaque, gRes.Opaque)
+		}
+	}
+}

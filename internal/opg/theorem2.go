@@ -1,0 +1,152 @@
+package opg
+
+import (
+	"fmt"
+
+	"otm/internal/history"
+)
+
+// Theorem2Result is the outcome of deciding opacity via the graph
+// characterization.
+type Theorem2Result struct {
+	// Opaque is the verdict.
+	Opaque bool
+	// Consistent reports condition (1) of Theorem 2. When false, Reason
+	// explains the inconsistency and no graph search was attempted.
+	Consistent bool
+	Reason     error
+	// Order and V are the witnesses (≪, V) when Opaque; Graph is the
+	// corresponding well-formed acyclic opacity graph.
+	Order []history.TxID
+	V     []history.TxID
+	Graph *Graph
+}
+
+// maxTheorem2Txs bounds the permutation search (n! growth).
+const maxTheorem2Txs = 9
+
+// CheckTheorem2 decides opacity of h by Theorem 2: h is opaque iff h is
+// consistent and there exist a total order ≪ on the transactions of h
+// and a subset V of its commit-pending transactions such that
+// OPG(nonlocal(h), ≪, V) is well-formed and acyclic.
+//
+// The search enumerates subsets V and total orders ≪ exhaustively, with
+// one prune: the Lrt and Lrf edges and the well-formedness condition do
+// not depend on ≪, so a V whose base graph is ill-formed or already
+// cyclic skips the permutation loop entirely. Exhaustive enumeration is
+// factorial in the number of transactions; CheckTheorem2 refuses
+// histories with more than 9 transactions. The point of this function is
+// cross-validation of the definitional checker (internal/core) and the
+// production of explicit graph witnesses/counterexamples, not bulk
+// checking.
+func CheckTheorem2(h history.History) (Theorem2Result, error) {
+	if err := h.WellFormed(); err != nil {
+		return Theorem2Result{}, err
+	}
+	if !RegisterOnly(h) {
+		return Theorem2Result{}, fmt.Errorf("opg: the graph characterization applies to register histories only")
+	}
+	if ok, err := UniqueWrites(h); !ok {
+		return Theorem2Result{}, err
+	}
+
+	res := Theorem2Result{}
+	if ok, err := Consistent(h); !ok {
+		res.Consistent = false
+		res.Reason = err
+		return res, nil
+	}
+	res.Consistent = true
+
+	nl := Nonlocal(h)
+	txs := nl.Transactions()
+	n := len(txs)
+	if n > maxTheorem2Txs {
+		return res, fmt.Errorf("opg: %d transactions exceed the Theorem 2 search bound of %d", n, maxTheorem2Txs)
+	}
+	if n == 0 {
+		res.Opaque = true
+		res.Graph = newGraph(nil)
+		return res, nil
+	}
+
+	cps := h.CommitPendingTxs()
+	if len(cps) > 16 {
+		return res, fmt.Errorf("opg: too many commit-pending transactions (%d)", len(cps))
+	}
+
+	for mask := 0; mask < 1<<uint(len(cps)); mask++ {
+		var V []history.TxID
+		for i, tx := range cps {
+			if mask&(1<<uint(i)) != 0 {
+				V = append(V, tx)
+			}
+		}
+		// Prune on the ≪-independent part: vertex labels and the Lrt/Lrf
+		// edges are fixed given V, so an ill-formed graph (an Lrf edge
+		// out of an Lloc vertex) or a cycle among Lrt/Lrf edges alone
+		// rules out every order ≪ for this V.
+		base, err := Build(h, txs, V)
+		if err != nil {
+			return res, err
+		}
+		if !base.WellFormed() {
+			continue
+		}
+		rtrf := newGraph(txs)
+		for key, labels := range base.Edges {
+			if labels[Lrt] {
+				rtrf.addEdge(key[0], key[1], Lrt)
+			}
+			if labels[Lrf] {
+				rtrf.addEdge(key[0], key[1], Lrf)
+			}
+		}
+		if !rtrf.Acyclic() {
+			continue
+		}
+
+		found := false
+		permute(txs, func(order []history.TxID) bool {
+			g, err := Build(h, order, V)
+			if err != nil {
+				return true // impossible: inputs validated above
+			}
+			if g.WellFormed() && g.Acyclic() {
+				res.Opaque = true
+				res.Order = append([]history.TxID(nil), order...)
+				res.V = V
+				res.Graph = g
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// permute enumerates permutations of txs, invoking fn on each; fn
+// returning false stops the enumeration. The slice passed to fn is reused
+// between calls.
+func permute(txs []history.TxID, fn func([]history.TxID) bool) {
+	perm := append([]history.TxID(nil), txs...)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(perm) {
+			return fn(perm)
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if !rec(k + 1) {
+				return false
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return true
+	}
+	rec(0)
+}

@@ -1,0 +1,50 @@
+package spec
+
+import "fmt"
+
+// CASArg is the argument of the cas operation on a CAS register.
+type CASArg struct {
+	Old, New Value
+}
+
+// casRegister is the sequential specification of a register with an
+// additional compare-and-swap operation — an example of an object whose
+// operations are neither read-only nor write-only (a conditional write
+// whose return value matters), exercising the "arbitrary objects"
+// generality the paper requires of opacity.
+//
+// Operations:
+//
+//	read()            -> current value
+//	write(v)          -> ok
+//	cas(CASArg{o,n})  -> true (and sets n) iff current value == o
+type casRegister struct {
+	v Value
+}
+
+// NewCASRegister returns the initial state of a CAS register.
+func NewCASRegister(initial Value) State { return casRegister{v: initial} }
+
+func (r casRegister) Name() string { return "cas-register" }
+
+func (r casRegister) Step(op string, arg, ret Value) (State, bool) {
+	switch op {
+	case "read":
+		return r, arg == nil && ret == r.v
+	case "write":
+		return casRegister{v: arg}, ret == OK
+	case "cas":
+		a, ok := arg.(CASArg)
+		if !ok {
+			return r, false
+		}
+		if r.v == a.Old {
+			return casRegister{v: a.New}, ret == true
+		}
+		return r, ret == false
+	default:
+		return r, false
+	}
+}
+
+func (r casRegister) Key() string { return fmt.Sprintf("cas:%v", r.v) }

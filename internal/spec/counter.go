@@ -1,0 +1,44 @@
+package spec
+
+import "fmt"
+
+// counter is the sequential specification of a shared counter — the
+// richer-semantics object of the paper's §3.4, where k transactions
+// concurrently increment without reading and should all be allowed to
+// commit.
+//
+// Operations:
+//
+//	inc()   -> ok      increment by one
+//	dec()   -> ok      decrement by one
+//	add(n)  -> ok      add integer n
+//	get()   -> value   read the current count
+type counter struct {
+	n int
+}
+
+// NewCounter returns the initial state of a counter holding initial.
+func NewCounter(initial int) State { return counter{n: initial} }
+
+func (c counter) Name() string { return "counter" }
+
+func (c counter) Step(op string, arg, ret Value) (State, bool) {
+	switch op {
+	case "inc":
+		return counter{n: c.n + 1}, ret == OK
+	case "dec":
+		return counter{n: c.n - 1}, ret == OK
+	case "add":
+		d, ok := arg.(int)
+		if !ok {
+			return c, false
+		}
+		return counter{n: c.n + d}, ret == OK
+	case "get":
+		return c, arg == nil && ret == c.n
+	default:
+		return c, false
+	}
+}
+
+func (c counter) Key() string { return fmt.Sprintf("ctr:%d", c.n) }

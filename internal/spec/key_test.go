@@ -1,0 +1,72 @@
+package spec
+
+import "testing"
+
+// Keys must be distinct across object types and across states of the
+// same object (equal keys promise identical continuations, §-checker
+// memoization), and Name must identify the type.
+func TestNamesAndKeys(t *testing.T) {
+	states := map[string]State{
+		"register":     NewRegister(0),
+		"counter":      NewCounter(0),
+		"cas-register": NewCASRegister(0),
+		"set":          NewSet(),
+		"queue":        NewQueue(),
+		"stack":        NewStack(),
+	}
+	keys := map[string]string{}
+	for name, s := range states {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+		k := s.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key %q shared by %s and %s", k, prev, name)
+		}
+		keys[k] = name
+	}
+}
+
+func TestKeysTrackState(t *testing.T) {
+	step := func(s State, op string, arg, ret Value) State {
+		t.Helper()
+		next, ok := s.Step(op, arg, ret)
+		if !ok {
+			t.Fatalf("%s(%v)->%v rejected", op, arg, ret)
+		}
+		return next
+	}
+	// Different states of each object get different keys; stepping back
+	// to the same abstract state restores the key.
+	r0 := NewRegister(0)
+	r5 := step(r0, "write", 5, OK)
+	if r0.Key() == r5.Key() {
+		t.Error("register key must depend on the value")
+	}
+	back := step(r5, "write", 0, OK)
+	if back.Key() != r0.Key() {
+		t.Error("register key must be canonical")
+	}
+
+	c0 := NewCASRegister(0)
+	c1 := step(c0, "cas", CASArg{Old: 0, New: 1}, true)
+	if c0.Key() == c1.Key() {
+		t.Error("cas-register key must change after a successful cas")
+	}
+
+	q0 := NewQueue()
+	q1 := step(q0, "enq", "a", OK)
+	if q0.Key() == q1.Key() {
+		t.Error("queue key must change after enq")
+	}
+	q2 := step(q1, "deq", nil, "a")
+	if q2.Key() != q0.Key() {
+		t.Error("empty queue key must be canonical")
+	}
+
+	s0 := NewStack()
+	s1 := step(s0, "push", 1, OK)
+	if s0.Key() == s1.Key() {
+		t.Error("stack key must change after push")
+	}
+}

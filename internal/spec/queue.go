@@ -1,0 +1,59 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Empty is the return value of deq on an empty queue and pop on an empty
+// stack.
+const Empty = "empty"
+
+// queue is the sequential specification of a FIFO queue.
+//
+// Operations:
+//
+//	enq(v) -> ok
+//	deq()  -> front element, or Empty if the queue is empty
+//	len()  -> number of queued elements
+type queue struct {
+	items []Value
+}
+
+// NewQueue returns the initial state of a queue holding items, front
+// first.
+func NewQueue(items ...Value) State {
+	return queue{items: append([]Value(nil), items...)}
+}
+
+func (q queue) Name() string { return "queue" }
+
+func (q queue) Step(op string, arg, ret Value) (State, bool) {
+	switch op {
+	case "enq":
+		items := make([]Value, len(q.items)+1)
+		copy(items, q.items)
+		items[len(q.items)] = arg
+		return queue{items: items}, ret == OK
+	case "deq":
+		if arg != nil {
+			return q, false
+		}
+		if len(q.items) == 0 {
+			return q, ret == Empty
+		}
+		return queue{items: append([]Value(nil), q.items[1:]...)}, ret == q.items[0]
+	case "len":
+		return q, arg == nil && ret == len(q.items)
+	default:
+		return q, false
+	}
+}
+
+func (q queue) Key() string {
+	parts := make([]string, len(q.items))
+	for i, v := range q.items {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return "q:[" + strings.Join(parts, ",") + "]"
+}

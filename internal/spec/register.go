@@ -1,0 +1,33 @@
+package spec
+
+import "fmt"
+
+// register is the sequential specification of a read/write register
+// (paper, §4): every read returns the value given as argument to the
+// latest preceding write, regardless of transaction identifiers.
+//
+// Operations:
+//
+//	read()    -> current value
+//	write(v)  -> ok
+type register struct {
+	v Value
+}
+
+// NewRegister returns the initial state of a register holding initial.
+func NewRegister(initial Value) State { return register{v: initial} }
+
+func (r register) Name() string { return "register" }
+
+func (r register) Step(op string, arg, ret Value) (State, bool) {
+	switch op {
+	case "read":
+		return r, arg == nil && ret == r.v
+	case "write":
+		return register{v: arg}, ret == OK
+	default:
+		return r, false
+	}
+}
+
+func (r register) Key() string { return fmt.Sprintf("reg:%v", r.v) }

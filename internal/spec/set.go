@@ -1,0 +1,77 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// set is the sequential specification of a mathematical set of comparable
+// values, modelled after the dynamic-set data structures (linked lists,
+// skip lists) that motivated DSTM. Insert and remove report whether they
+// changed the set, so they are neither read-only nor write-only.
+//
+// Operations:
+//
+//	insert(v)   -> true iff v was absent
+//	remove(v)   -> true iff v was present
+//	contains(v) -> membership
+//	size()      -> cardinality
+type set struct {
+	m map[Value]bool
+}
+
+// NewSet returns the initial state of a set containing the given members.
+func NewSet(members ...Value) State {
+	m := make(map[Value]bool, len(members))
+	for _, v := range members {
+		m[v] = true
+	}
+	return set{m: m}
+}
+
+func (s set) Name() string { return "set" }
+
+// with returns a copy of s with v present iff in is true.
+func (s set) with(v Value, in bool) set {
+	m := make(map[Value]bool, len(s.m)+1)
+	for k := range s.m {
+		m[k] = true
+	}
+	if in {
+		m[v] = true
+	} else {
+		delete(m, v)
+	}
+	return set{m: m}
+}
+
+func (s set) Step(op string, arg, ret Value) (State, bool) {
+	switch op {
+	case "insert":
+		if s.m[arg] {
+			return s, ret == false
+		}
+		return s.with(arg, true), ret == true
+	case "remove":
+		if !s.m[arg] {
+			return s, ret == false
+		}
+		return s.with(arg, false), ret == true
+	case "contains":
+		return s, ret == s.m[arg]
+	case "size":
+		return s, arg == nil && ret == len(s.m)
+	default:
+		return s, false
+	}
+}
+
+func (s set) Key() string {
+	elems := make([]string, 0, len(s.m))
+	for v := range s.m {
+		elems = append(elems, fmt.Sprintf("%v", v))
+	}
+	sort.Strings(elems)
+	return "set:{" + strings.Join(elems, ",") + "}"
+}

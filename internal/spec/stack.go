@@ -1,0 +1,56 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// stack is the sequential specification of a LIFO stack.
+//
+// Operations:
+//
+//	push(v) -> ok
+//	pop()   -> top element, or Empty if the stack is empty
+//	len()   -> number of stacked elements
+type stack struct {
+	items []Value // items[len-1] is the top
+}
+
+// NewStack returns the initial state of a stack holding items, bottom
+// first.
+func NewStack(items ...Value) State {
+	return stack{items: append([]Value(nil), items...)}
+}
+
+func (s stack) Name() string { return "stack" }
+
+func (s stack) Step(op string, arg, ret Value) (State, bool) {
+	switch op {
+	case "push":
+		items := make([]Value, len(s.items)+1)
+		copy(items, s.items)
+		items[len(s.items)] = arg
+		return stack{items: items}, ret == OK
+	case "pop":
+		if arg != nil {
+			return s, false
+		}
+		if len(s.items) == 0 {
+			return s, ret == Empty
+		}
+		top := s.items[len(s.items)-1]
+		return stack{items: append([]Value(nil), s.items[:len(s.items)-1]...)}, ret == top
+	case "len":
+		return s, arg == nil && ret == len(s.items)
+	default:
+		return s, false
+	}
+}
+
+func (s stack) Key() string {
+	parts := make([]string, len(s.items))
+	for i, v := range s.items {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return "st:[" + strings.Join(parts, ",") + "]"
+}

@@ -1,0 +1,35 @@
+package stm
+
+// Non-transactional access (paper, §7): "It is preferable to require
+// that every non-transactional operation has the semantics of a single
+// transaction... by encapsulating every non-transactional operation into
+// a committed transaction." DirectRead and DirectWrite are exactly that
+// encapsulation: each runs a fresh single-operation transaction to
+// completion, retrying on forceful aborts, so mixed transactional and
+// non-transactional code keeps the illusion of instantaneous execution
+// and recorded histories remain well-formed and checkable.
+//
+// An engine could special-case such transactions (the paper's footnote
+// 13 suggests they need never be forcefully aborted and can skip
+// logging); these helpers deliberately go through the ordinary path so
+// that every engine supports them unchanged.
+
+// DirectRead reads object i outside any user transaction, with
+// single-transaction semantics.
+func DirectRead(tm TM, i int) (int, error) {
+	var v int
+	err := Atomically(tm, func(tx Tx) error {
+		var err error
+		v, err = tx.Read(i)
+		return err
+	})
+	return v, err
+}
+
+// DirectWrite writes object i outside any user transaction, with
+// single-transaction semantics.
+func DirectWrite(tm TM, i, v int) error {
+	return Atomically(tm, func(tx Tx) error {
+		return tx.Write(i, v)
+	})
+}

@@ -1,0 +1,295 @@
+// Package dstm implements a DSTM-style software transactional memory
+// (Herlihy, Luchangco, Moir, Scherer, PODC 2003) — the archetype the
+// paper's Theorem 3 is tight for. The engine is:
+//
+//   - progressive: a transaction is forcefully aborted only upon a
+//     conflict with a concurrent live transaction (the contention manager
+//     picks the victim among the two);
+//   - single-version: only the latest committed state of each object is
+//     kept in base shared objects (inside the current locator);
+//   - invisible-read: a read operation modifies no base shared object;
+//     readers are unknown to other processes.
+//
+// To remain opaque under these three properties the engine validates its
+// entire read set on every operation — Θ(r) base-object steps for a
+// transaction that has read r objects, hence Θ(k) worst-case operation
+// complexity and Θ(k²) for a transaction reading all k objects. This is
+// exactly the cost Theorem 3 proves unavoidable: with invisible reads no
+// other process can warn the reader that its snapshot was invalidated,
+// so the reader must re-examine every object it read.
+//
+// Writes acquire object ownership via CAS on a per-object locator, as in
+// DSTM: the locator points at the owner's descriptor and carries the old
+// (committed) and new (speculative) value. Aborting a transaction is a
+// single CAS on its status word, which implicitly reverts every object it
+// owns to the old value — revocable "virtual" locks.
+//
+// One deviation from the 2003 paper: update transactions serialize their
+// commit-time validation and status change under a global commit lock.
+// DSTM as literally published validates and then CASes its status in two
+// separate steps, which admits a write-skew race between two update
+// transactions that validate concurrently and then both commit; the
+// commit lock closes it. The lock adds O(1) steps to commit, keeps reads
+// invisible (read operations still write nothing), and does not affect
+// the Θ(k) per-operation validation cost that the lower bound is about.
+// Read-only transactions commit without touching the lock.
+package dstm
+
+import (
+	"otm/internal/base"
+	"otm/internal/cm"
+	"otm/internal/stm"
+)
+
+// locator is the per-object descriptor of DSTM: the current owner and the
+// old/new values. The committed value of the object is newVal if the
+// owner committed, oldVal otherwise.
+type locator struct {
+	owner  *txDesc
+	oldVal int
+	newVal int
+}
+
+// txDesc is the shared transaction descriptor other processes CAS to
+// abort the transaction.
+type txDesc struct {
+	status base.I32
+	info   *cm.Info
+}
+
+// committedDesc is the descriptor used for pre-initialized locators.
+var committedDesc = func() *txDesc {
+	d := &txDesc{info: cm.NewInfo()}
+	d.status.Store(nil, stm.StatusCommitted)
+	return d
+}()
+
+// TM is a DSTM-style transactional memory over Len integer registers.
+type TM struct {
+	objs []base.Word[locator]
+	mgr  cm.Manager
+	lock base.U64 // global commit lock for update transactions
+}
+
+// New returns a DSTM-style TM with n objects initialized to 0, using mgr
+// to arbitrate conflicts (nil defaults to cm.Aggressive).
+func New(n int, mgr cm.Manager) *TM {
+	if mgr == nil {
+		mgr = cm.Aggressive{}
+	}
+	t := &TM{objs: make([]base.Word[locator], n), mgr: mgr}
+	for i := range t.objs {
+		t.objs[i].Store(nil, &locator{owner: committedDesc})
+	}
+	return t
+}
+
+// Name implements stm.TM.
+func (t *TM) Name() string { return "dstm" }
+
+// Len implements stm.TM.
+func (t *TM) Len() int { return len(t.objs) }
+
+// Begin implements stm.TM.
+func (t *TM) Begin() stm.Tx {
+	return &tx{
+		tm:     t,
+		desc:   &txDesc{info: cm.NewInfo()},
+		writes: make(map[int]*locator),
+	}
+}
+
+// readEntry remembers the value observed by an invisible read, for
+// revalidation.
+type readEntry struct {
+	obj int
+	val int
+}
+
+type tx struct {
+	tm      *TM
+	desc    *txDesc
+	steps   base.StepCounter
+	reads   []readEntry
+	readIdx map[int]int // object -> index in reads
+	writes  map[int]*locator
+	done    bool
+}
+
+// Steps implements stm.Tx.
+func (t *tx) Steps() int64 { return t.steps.Count() }
+
+// currentValue returns the latest committed value recorded in l: newVal
+// if the owner committed, oldVal if it is active or aborted. Costs one
+// step (the owner-status load); loading the locator itself is charged by
+// the caller.
+func (t *tx) currentValue(l *locator) int {
+	if l.owner.status.Load(&t.steps) == stm.StatusCommitted {
+		return l.newVal
+	}
+	return l.oldVal
+}
+
+// validate re-checks every read against the current committed state —
+// the Θ(r) per-operation cost of invisible reads.
+func (t *tx) validate() bool {
+	for _, re := range t.reads {
+		l := t.tm.objs[re.obj].Load(&t.steps)
+		if own, ok := t.writes[re.obj]; ok && l == own {
+			// We own the object: the committed value our read must match
+			// is frozen in our locator's oldVal (anyone stealing the
+			// object aborts us first, which selfAborted detects).
+			if own.oldVal != re.val {
+				return false
+			}
+			continue
+		}
+		if t.currentValue(l) != re.val {
+			return false
+		}
+	}
+	return true
+}
+
+// selfAborted reports (with one step) whether another process aborted us.
+func (t *tx) selfAborted() bool {
+	return t.desc.status.Load(&t.steps) != stm.StatusActive
+}
+
+// abortSelf transitions the transaction to aborted (idempotent).
+func (t *tx) abortSelf() {
+	t.desc.status.CAS(&t.steps, stm.StatusActive, stm.StatusAborted)
+	t.done = true
+}
+
+// Read implements stm.Tx: an invisible read with full read-set
+// validation.
+func (t *tx) Read(i int) (int, error) {
+	if t.done {
+		return 0, stm.ErrAborted
+	}
+	if t.selfAborted() {
+		t.done = true
+		return 0, stm.ErrAborted
+	}
+	if own, ok := t.writes[i]; ok {
+		// Read own speculative write: transaction-local, no base steps.
+		return own.newVal, nil
+	}
+	l := t.tm.objs[i].Load(&t.steps)
+	v := t.currentValue(l)
+	// Record the read first, then validate the whole snapshot including
+	// it: a commit sneaking in between the value load and the validation
+	// is caught because validation re-reads object i and compares.
+	if t.readIdx == nil {
+		t.readIdx = make(map[int]int)
+	}
+	fresh := false
+	if _, ok := t.readIdx[i]; !ok {
+		t.readIdx[i] = len(t.reads)
+		t.reads = append(t.reads, readEntry{obj: i, val: v})
+		t.desc.info.Opened()
+		fresh = true
+	}
+	if !t.validate() {
+		t.abortSelf()
+		return 0, stm.ErrAborted
+	}
+	if !fresh {
+		// Re-read of a known object: return the value recorded at first
+		// read (the validated snapshot value).
+		v = t.reads[t.readIdx[i]].val
+	}
+	return v, nil
+}
+
+// Write implements stm.Tx: acquire the object's locator by CAS, fighting
+// live owners through the contention manager, then revalidate the read
+// set.
+func (t *tx) Write(i int, v int) error {
+	if t.done {
+		return stm.ErrAborted
+	}
+	if t.selfAborted() {
+		t.done = true
+		return stm.ErrAborted
+	}
+	if own, ok := t.writes[i]; ok {
+		own.newVal = v // safe: visible to others only after our commit
+		return nil
+	}
+	attempts := 0
+	for {
+		l := t.tm.objs[i].Load(&t.steps)
+		owner := l.owner
+		if owner != t.desc && owner.status.Load(&t.steps) == stm.StatusActive {
+			// Conflict with a live owner: arbitrate.
+			t.desc.info.Attempts = attempts
+			switch t.tm.mgr.Resolve(t.desc.info, owner.info) {
+			case cm.AbortOther:
+				owner.status.CAS(&t.steps, stm.StatusActive, stm.StatusAborted)
+			case cm.AbortSelf:
+				t.abortSelf()
+				return stm.ErrAborted
+			case cm.Wait:
+				attempts++
+				if t.selfAborted() {
+					t.done = true
+					return stm.ErrAborted
+				}
+			}
+			continue
+		}
+		old := t.currentValue(l)
+		nl := &locator{owner: t.desc, oldVal: old, newVal: v}
+		if !t.tm.objs[i].CAS(&t.steps, l, nl) {
+			continue // lost a race; re-read the locator
+		}
+		t.writes[i] = nl
+		t.desc.info.Opened()
+		break
+	}
+	if !t.validate() {
+		t.abortSelf()
+		return stm.ErrAborted
+	}
+	return nil
+}
+
+// Commit implements stm.Tx. Read-only transactions validate and flip
+// their status; update transactions do so under the global commit lock
+// (see the package comment).
+func (t *tx) Commit() error {
+	if t.done {
+		return stm.ErrAborted
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		if !t.validate() {
+			t.abortSelf()
+			return stm.ErrAborted
+		}
+		if !t.desc.status.CAS(&t.steps, stm.StatusActive, stm.StatusCommitted) {
+			return stm.ErrAborted
+		}
+		return nil
+	}
+	for !t.tm.lock.CAS(&t.steps, 0, 1) {
+		// Bounded by the other committer's O(r) critical section.
+	}
+	ok := t.validate() && t.desc.status.CAS(&t.steps, stm.StatusActive, stm.StatusCommitted)
+	t.tm.lock.Store(&t.steps, 0)
+	if !ok {
+		t.abortSelf()
+		return stm.ErrAborted
+	}
+	return nil
+}
+
+// Abort implements stm.Tx (tryA: voluntary, always succeeds).
+func (t *tx) Abort() {
+	if t.done {
+		return
+	}
+	t.abortSelf()
+}

@@ -1,0 +1,313 @@
+package dstm
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/cm"
+	"otm/internal/core"
+	"otm/internal/stm"
+	"otm/internal/stm/stmtest"
+)
+
+func TestConformance(t *testing.T) {
+	managers := map[string]cm.Manager{
+		"aggressive": cm.Aggressive{},
+		"polite":     cm.Polite{},
+		"karma":      cm.Karma{},
+		"greedy":     cm.Greedy{},
+	}
+	for name, mgr := range managers {
+		mgr := mgr
+		t.Run(name, func(t *testing.T) {
+			stmtest.Run(t, func(n int) stm.TM { return New(n, mgr) }, stmtest.Options{Opaque: true})
+		})
+	}
+}
+
+// TestZombiePrevented reproduces the paper's §2 scenario deterministically:
+// T1 reads r0, T2 overwrites r0 and r1 and commits, T1 tries to read r1.
+// An opaque TM must abort T1 instead of showing it the mixed snapshot.
+func TestZombiePrevented(t *testing.T) {
+	tm := New(2, cm.Aggressive{})
+	t1 := tm.Begin()
+	if v, err := t1.Read(0); err != nil || v != 0 {
+		t.Fatalf("t1 read(0) = %d, %v", v, err)
+	}
+
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+
+	// T1's read set {r0=0} is now stale; validation must abort it.
+	if _, err := t1.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("t1 read(1) after conflicting commit: err = %v, want ErrAborted", err)
+	}
+}
+
+// TestProgressiveNoSpuriousAbort: a transaction whose read set is NOT
+// invalidated keeps running even though another transaction committed
+// meanwhile — the progressive behaviour TL2 lacks (§6.2).
+func TestProgressiveNoSpuriousAbort(t *testing.T) {
+	tm := New(3, cm.Aggressive{})
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+
+	t2 := tm.Begin()
+	if err := t2.Write(1, 5); err != nil { // disjoint object
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 reads the object T2 just committed: fine — the combined snapshot
+	// {r0=0, r1=5} is consistent (serialize T1 after T2).
+	v, err := t1.Read(1)
+	if err != nil || v != 5 {
+		t.Fatalf("t1 read(1) = %d, %v; progressive TM must not abort", v, err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+}
+
+// TestValidationCostGrows measures the Θ(r) per-read validation: the
+// steps consumed by the r-th read grow linearly with the read set —
+// the mechanism behind the Ω(k) bound.
+func TestValidationCostGrows(t *testing.T) {
+	const k = 64
+	tm := New(k, cm.Aggressive{})
+	tx := tm.Begin()
+	var costs []int64
+	for i := 0; i < k; i++ {
+		before := tx.Steps()
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, tx.Steps()-before)
+	}
+	if costs[k-1] <= costs[0] {
+		t.Errorf("last read cost %d not greater than first %d", costs[k-1], costs[0])
+	}
+	// Linear growth: cost of read i is ~2(i+1)+2; check the last read
+	// costs at least k steps and at most a small constant times k.
+	if costs[k-1] < int64(k) {
+		t.Errorf("read %d cost %d steps, expected Ω(k)=≥%d", k-1, costs[k-1], k)
+	}
+	if costs[k-1] > int64(8*k) {
+		t.Errorf("read %d cost %d steps, expected Θ(k)≤%d", k-1, costs[k-1], 8*k)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuadraticTransaction: a transaction reading all k objects performs
+// Θ(k²) steps in total (§6.2's tightness claim for DSTM/ASTM).
+func TestQuadraticTransaction(t *testing.T) {
+	for _, k := range []int{16, 32, 64} {
+		tm := New(k, cm.Aggressive{})
+		tx := tm.Begin()
+		for i := 0; i < k; i++ {
+			if _, err := tx.Read(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		steps := tx.Steps()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// Σ 2i + O(k) ≈ k². Accept [k²/2, 8k²].
+		if steps < int64(k*k/2) || steps > int64(8*k*k) {
+			t.Errorf("k=%d: %d steps, want Θ(k²)≈%d", k, steps, k*k)
+		}
+	}
+}
+
+// TestWriterWriterConflictAggressive: the attacker steals ownership and
+// the victim's commit fails.
+func TestWriterWriterConflictAggressive(t *testing.T) {
+	tm := New(1, cm.Aggressive{})
+	t1 := tm.Begin()
+	if err := t1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 2); err != nil { // aborts T1, takes the object
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Errorf("victim's commit: %v, want ErrAborted", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("winner's commit: %v", err)
+	}
+	t3 := tm.Begin()
+	if v, _ := t3.Read(0); v != 2 {
+		t.Errorf("final value %d, want the winner's 2", v)
+	}
+}
+
+// TestWriterWriterConflictSuicidal: the attacker yields instead.
+func TestWriterWriterConflictSuicidal(t *testing.T) {
+	tm := New(1, cm.Suicidal{})
+	t1 := tm.Begin()
+	if err := t1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 2); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("suicidal attacker should abort itself: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("owner must survive: %v", err)
+	}
+}
+
+// TestGreedySeniority: with the timestamp policy the older transaction
+// wins both as attacker and as owner.
+func TestGreedySeniority(t *testing.T) {
+	tm := New(1, cm.Greedy{})
+	older := tm.Begin()
+	younger := tm.Begin()
+	if err := younger.Write(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Older attacks younger owner: older wins.
+	if err := older.Write(0, 1); err != nil {
+		t.Fatalf("older attacker must win: %v", err)
+	}
+	if err := younger.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Error("younger owner must have been aborted")
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Younger attacks older owner: younger yields.
+	tm2 := New(1, cm.Greedy{})
+	o2 := tm2.Begin()
+	y2 := tm2.Begin()
+	if err := o2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := y2.Write(0, 2); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("younger attacker must yield: %v", err)
+	}
+	if err := o2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordedZombieScheduleOpaque replays the zombie schedule under the
+// recorder: the resulting history (T1 forcefully aborted at its second
+// read) must be opaque.
+func TestRecordedZombieScheduleOpaque(t *testing.T) {
+	rec := stm.NewRecorder(New(2, cm.Aggressive{}))
+	t1 := rec.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := rec.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatal("expected forceful abort")
+	}
+	h := rec.History()
+	res, err := core.Opaque(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatalf("recorded abort-instead-of-zombie history must be opaque:\n%s", h.Format())
+	}
+}
+
+// TestReadOwnWriteNoValidationOfStale: writing then reading back does not
+// interact with other objects' state.
+func TestReadOwnWriteConflictFree(t *testing.T) {
+	tm := New(2, cm.Aggressive{})
+	t1 := tm.Begin()
+	if err := t1.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := t1.Read(0); err != nil || v != 7 {
+		t.Fatalf("own write = %d, %v", v, err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("disjoint writer must commit: %v", err)
+	}
+}
+
+// TestStaleReadThenWriteAborts: T1 reads r0, T2 commits a new r0, then T1
+// tries to WRITE r1 — the open-for-write validation must catch the stale
+// read set too.
+func TestStaleReadThenWriteAborts(t *testing.T) {
+	tm := New(2, cm.Aggressive{})
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(1, 5); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("write after stale read: %v, want ErrAborted", err)
+	}
+}
+
+// TestCommitValidates: a stale read set is caught at commit even when no
+// further operation happens.
+func TestCommitValidates(t *testing.T) {
+	tm := New(2, cm.Aggressive{})
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("commit with stale read set: %v, want ErrAborted", err)
+	}
+	t3 := tm.Begin()
+	if v, _ := t3.Read(1); v != 0 {
+		t.Errorf("aborted T1's write leaked: r1 = %d", v)
+	}
+}

@@ -1,0 +1,178 @@
+// Package gatm implements the paper's §6 counterexample algorithm: a
+// single-version, invisible-read TM with constant per-operation
+// complexity that ensures global atomicity (committed transactions are
+// strictly serializable) and strict recoverability (transactions only
+// ever read committed values), but NOT opacity.
+//
+// Its existence is what makes opacity load-bearing in Theorem 3: the
+// lower bound evaporates the moment the correctness requirement is
+// weakened to global atomicity + recoverability, because a read can
+// simply return the latest committed value — O(1) base steps, no
+// snapshot validation — and commit-time validation suffices to keep
+// *committed* transactions serializable.
+//
+// The price: a live transaction can observe an inconsistent snapshot (a
+// "zombie"). It will certainly be aborted at commit, so the committed
+// history stays correct — but in a TM, unlike a sandboxed database, the
+// zombie has already executed application code on impossible state: the
+// paper's §2 examples (division by zero, runaway loop writing beyond
+// array bounds) happen between the inconsistent read and the abort.
+// examples/invariant demonstrates exactly this against this engine.
+//
+// Mechanically the engine is TL2 with the read-time "version ≤ rv" check
+// removed: per-object versioned write-locks, buffered writes, commit-time
+// locking and read-set validation. A read double-checks only that it saw
+// an unlocked, untorn (version, value) pair — the minimum needed for
+// recoverability (never expose a speculative value), not consistency.
+package gatm
+
+import (
+	"sort"
+
+	"otm/internal/base"
+	"otm/internal/stm"
+)
+
+const lockBit = 1
+
+// TM is the global-atomicity-only transactional memory over Len integer
+// registers.
+type TM struct {
+	vers []base.U64
+	vals []base.I64
+}
+
+// New returns a gatm TM with n objects initialized to 0.
+func New(n int) *TM {
+	return &TM{vers: make([]base.U64, n), vals: make([]base.I64, n)}
+}
+
+// Name implements stm.TM.
+func (t *TM) Name() string { return "gatm" }
+
+// Len implements stm.TM.
+func (t *TM) Len() int { return len(t.vers) }
+
+// Begin implements stm.TM. No clock to sample: reads are unanchored.
+func (t *TM) Begin() stm.Tx {
+	return &tx{tm: t}
+}
+
+// readEntry remembers the version observed, for commit-time validation.
+type readEntry struct {
+	obj int
+	ver uint64
+}
+
+type tx struct {
+	tm     *TM
+	steps  base.StepCounter
+	reads  []readEntry
+	inRead map[int]uint64
+	writes map[int]int
+	done   bool
+}
+
+// Steps implements stm.Tx.
+func (t *tx) Steps() int64 { return t.steps.Count() }
+
+// Read implements stm.Tx: return the latest committed value, whatever
+// snapshot it belongs to. O(1) steps; the opacity-violating read.
+func (t *tx) Read(i int) (int, error) {
+	if t.done {
+		return 0, stm.ErrAborted
+	}
+	if v, ok := t.writes[i]; ok {
+		return v, nil
+	}
+	for {
+		v1 := t.tm.vers[i].Load(&t.steps)
+		if v1&lockBit != 0 {
+			continue // writer mid-commit; spin briefly
+		}
+		val := t.tm.vals[i].Load(&t.steps)
+		v2 := t.tm.vers[i].Load(&t.steps)
+		if v1 != v2 {
+			continue
+		}
+		if _, ok := t.inRead[i]; !ok {
+			if t.inRead == nil {
+				t.inRead = make(map[int]uint64)
+			}
+			t.inRead[i] = v1
+			t.reads = append(t.reads, readEntry{obj: i, ver: v1})
+		}
+		return int(val), nil
+	}
+}
+
+// Write implements stm.Tx: buffered until commit, zero base steps.
+func (t *tx) Write(i int, v int) error {
+	if t.done {
+		return stm.ErrAborted
+	}
+	if t.writes == nil {
+		t.writes = make(map[int]int)
+	}
+	t.writes[i] = v
+	return nil
+}
+
+// Commit implements stm.Tx: lock the write set in order, validate that
+// every read version is unchanged and unlocked, write back with bumped
+// versions. Commit-time validation keeps committed transactions
+// serializable (global atomicity) even though live reads were never
+// checked against each other.
+func (t *tx) Commit() error {
+	if t.done {
+		return stm.ErrAborted
+	}
+	t.done = true
+
+	wobjs := make([]int, 0, len(t.writes))
+	for i := range t.writes {
+		wobjs = append(wobjs, i)
+	}
+	sort.Ints(wobjs)
+
+	locked := make([]int, 0, len(wobjs))
+	release := func() {
+		for _, i := range locked {
+			v := t.tm.vers[i].Load(&t.steps)
+			t.tm.vers[i].Store(&t.steps, v&^lockBit)
+		}
+	}
+	for _, i := range wobjs {
+		v := t.tm.vers[i].Load(&t.steps)
+		if v&lockBit != 0 || !t.tm.vers[i].CAS(&t.steps, v, v|lockBit) {
+			release()
+			return stm.ErrAborted
+		}
+		locked = append(locked, i)
+		if want, ok := t.inRead[i]; ok && v != want {
+			release()
+			return stm.ErrAborted
+		}
+	}
+	for _, re := range t.reads {
+		if _, own := t.writes[re.obj]; own {
+			continue // checked while locking
+		}
+		v := t.tm.vers[re.obj].Load(&t.steps)
+		if v != re.ver {
+			release()
+			return stm.ErrAborted
+		}
+	}
+	for _, i := range wobjs {
+		t.tm.vals[i].Store(&t.steps, int64(t.writes[i]))
+		v := t.tm.vers[i].Load(&t.steps)
+		t.tm.vers[i].Store(&t.steps, (v&^lockBit)+2)
+	}
+	return nil
+}
+
+// Abort implements stm.Tx.
+func (t *tx) Abort() {
+	t.done = true
+}

@@ -1,0 +1,198 @@
+package gatm
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/criteria"
+	"otm/internal/stm"
+	"otm/internal/stm/stmtest"
+)
+
+func TestConformance(t *testing.T) {
+	// Opaque: false — gatm deliberately is not; the suite skips the
+	// recorded-opacity check.
+	stmtest.Run(t, func(n int) stm.TM { return New(n) }, stmtest.Options{Opaque: false})
+}
+
+// TestZombieObservesInconsistentState is experiment E12: the §2 zombie
+// schedule against the constant-complexity GA-only engine. T1 reads the
+// OLD r0 and the NEW r1 — the inconsistent snapshot an opaque TM must
+// never expose. T1 is then aborted at commit, so committed transactions
+// stay serializable: global atomicity holds, opacity does not.
+func TestZombieObservesInconsistentState(t *testing.T) {
+	tm := New(2)
+	t1 := tm.Begin()
+	if v, err := t1.Read(0); err != nil || v != 0 {
+		t.Fatalf("t1 read(0) = %d, %v", v, err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The zombie read: gatm happily returns the latest committed r1.
+	v, err := t1.Read(1)
+	if err != nil {
+		t.Fatalf("gatm must answer the zombie read: %v", err)
+	}
+	if v != 1 {
+		t.Fatalf("t1 read(1) = %d; the inconsistent snapshot requires 1", v)
+	}
+	// Commit-time validation kills the zombie, preserving global
+	// atomicity.
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("zombie's commit: %v, want ErrAborted", err)
+	}
+}
+
+// TestRecordedZombieHistoryVerdicts: record the schedule above and check
+// it against the whole criteria battery — the executable version of the
+// paper's Figure 1 punchline.
+func TestRecordedZombieHistoryVerdicts(t *testing.T) {
+	rec := stm.NewRecorder(New(2))
+	t1 := rec.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := rec.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	_ = t1.Commit() // aborted
+
+	h := rec.History()
+	rep, err := criteria.Evaluate(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Opaque {
+		t.Errorf("zombie history must NOT be opaque:\n%s", h.Format())
+	}
+	if !rep.GloballyAtomic {
+		t.Errorf("committed projection must stay globally atomic:\n%s", h.Format())
+	}
+	if !rep.StrictlyRecoverable {
+		t.Errorf("gatm reads only committed values; history must be recoverable:\n%s", h.Format())
+	}
+}
+
+// TestConstantReadCost: the whole point of dropping opacity — O(1) reads
+// with invisible readers and a single version.
+func TestConstantReadCost(t *testing.T) {
+	const k = 128
+	tm := New(k)
+	tx := tm.Begin()
+	var first, last int64
+	for i := 0; i < k; i++ {
+		before := tx.Steps()
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+		cost := tx.Steps() - before
+		if i == 0 {
+			first = cost
+		}
+		last = cost
+	}
+	if first != last {
+		t.Errorf("read cost drifted from %d to %d; gatm reads must be O(1)", first, last)
+	}
+	if last > 5 {
+		t.Errorf("read cost %d, want ≤5", last)
+	}
+	_ = tx.Commit()
+}
+
+// TestCommittedSerializable: concurrent committed transactions remain
+// strictly serializable (validation at commit), even across the zombie
+// window.
+func TestCommittedSerializable(t *testing.T) {
+	rec := stm.NewRecorder(New(3))
+	// Three sequential committed updaters and one zombie reader.
+	for round := 1; round <= 3; round++ {
+		tx := rec.Begin()
+		if _, err := tx.Read(round - 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write(round%3, round*10); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := rec.History()
+	if ok, err := criteria.StrictlySerializable(h, nil); err != nil || !ok {
+		t.Errorf("committed projection must be strictly serializable: %v %v\n%s", ok, err, h.Format())
+	}
+	// And in this all-committed sequential run, even opacity holds.
+	res, err := core.Opaque(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Errorf("sequential committed-only gatm run is opaque:\n%s", h.Format())
+	}
+}
+
+// TestStaleReadCommitAborts: commit-time validation detail — a read
+// version bumped by a later committer fails validation.
+func TestStaleReadCommitAborts(t *testing.T) {
+	tm := New(2)
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("stale read at commit: %v, want ErrAborted", err)
+	}
+}
+
+// TestReadWriteSameObjectValidatedAtLock: read-then-write object staleness
+// is caught while locking.
+func TestReadWriteSameObjectValidatedAtLock(t *testing.T) {
+	tm := New(1)
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("read-write staleness: %v, want ErrAborted", err)
+	}
+}

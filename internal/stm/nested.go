@@ -1,0 +1,84 @@
+package stm
+
+import "errors"
+
+// ErrNestedActive is returned by operations on a parent transaction
+// bypassing an open nested child (callers must commit or abort the child
+// first). Enforcing this keeps each transaction sequential, as the
+// paper's model requires.
+var ErrNestedActive = errors.New("stm: parent has an open nested transaction")
+
+// Nest starts a closed-nested child transaction over parent (paper, §7:
+// "we can treat events of each committed nested transaction as if they
+// were executed directly by the parent transaction"). The child:
+//
+//   - sees the parent's writes (and, transitively, its ancestors');
+//   - buffers its own writes locally;
+//   - on Commit, replays its writes into the parent — from the TM's (and
+//     the recorder's) point of view they become parent operations, which
+//     is exactly the paper's flattening semantics for committed nested
+//     transactions;
+//   - on Abort, discards its writes without touching the parent: a
+//     partial rollback the flat API cannot express.
+//
+// Reads performed by the child reach shared memory through the parent,
+// so a forceful abort of the PARENT surfaces inside the child as
+// ErrAborted — a nested transaction cannot outlive its parent. Children
+// nest arbitrarily (Nest(Nest(...))).
+func Nest(parent Tx) Tx {
+	return &nestedTx{parent: parent, writes: make(map[int]int)}
+}
+
+type nestedTx struct {
+	parent Tx
+	writes map[int]int
+	order  []int // write order, for deterministic replay
+	done   bool
+}
+
+// Read implements Tx: child buffer first, then the parent's view.
+func (t *nestedTx) Read(i int) (int, error) {
+	if t.done {
+		return 0, ErrAborted
+	}
+	if v, ok := t.writes[i]; ok {
+		return v, nil
+	}
+	return t.parent.Read(i)
+}
+
+// Write implements Tx: buffered in the child.
+func (t *nestedTx) Write(i, v int) error {
+	if t.done {
+		return ErrAborted
+	}
+	if _, seen := t.writes[i]; !seen {
+		t.order = append(t.order, i)
+	}
+	t.writes[i] = v
+	return nil
+}
+
+// Commit implements Tx: merge the child's writes into the parent. The
+// child's reads already went through the parent, so nothing else moves.
+func (t *nestedTx) Commit() error {
+	if t.done {
+		return ErrAborted
+	}
+	t.done = true
+	for _, i := range t.order {
+		if err := t.parent.Write(i, t.writes[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort implements Tx: drop the child's buffer; the parent is untouched.
+func (t *nestedTx) Abort() {
+	t.done = true
+	t.writes = nil
+}
+
+// Steps implements Tx: the child's shared-memory work is the parent's.
+func (t *nestedTx) Steps() int64 { return t.parent.Steps() }

@@ -1,0 +1,286 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+)
+
+func TestNestedSeesParentWrites(t *testing.T) {
+	tm := newFake(2)
+	parent := tm.Begin()
+	if err := parent.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	child := Nest(parent)
+	if v, err := child.Read(0); err != nil || v != 5 {
+		t.Fatalf("child read of parent write = %d, %v", v, err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedCommitMergesIntoParent(t *testing.T) {
+	tm := newFake(2)
+	parent := tm.Begin()
+	child := Nest(parent)
+	if err := child.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Parent sees the child's committed writes...
+	if v, _ := parent.Read(0); v != 1 {
+		t.Error("parent must see the merged write")
+	}
+	// ...but shared memory does not until the parent commits.
+	if tm.vals[0] != 0 {
+		t.Error("child commit must not publish to shared memory")
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.vals[0] != 1 || tm.vals[1] != 2 {
+		t.Errorf("after parent commit: %v", tm.vals)
+	}
+}
+
+func TestNestedAbortDiscardsOnlyChild(t *testing.T) {
+	tm := newFake(2)
+	parent := tm.Begin()
+	if err := parent.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	child := Nest(parent)
+	if err := child.Write(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write(1, 99); err != nil {
+		t.Fatal(err)
+	}
+	child.Abort()
+	// Parent's own write survives; the child's vanish.
+	if v, _ := parent.Read(0); v != 7 {
+		t.Error("parent write lost after child abort")
+	}
+	if v, _ := parent.Read(1); v != 0 {
+		t.Error("child write leaked after abort")
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.vals[0] != 7 || tm.vals[1] != 0 {
+		t.Errorf("final %v", tm.vals)
+	}
+}
+
+func TestNestedCompletedRejectsOps(t *testing.T) {
+	parent := newFake(1).Begin()
+	child := Nest(parent)
+	child.Abort()
+	if _, err := child.Read(0); !errors.Is(err, ErrAborted) {
+		t.Error("read after child abort")
+	}
+	if err := child.Write(0, 1); !errors.Is(err, ErrAborted) {
+		t.Error("write after child abort")
+	}
+	if err := child.Commit(); !errors.Is(err, ErrAborted) {
+		t.Error("commit after child abort")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	tm := newFake(3)
+	parent := tm.Begin()
+	c1 := Nest(parent)
+	if err := c1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c2 := Nest(c1)
+	if v, _ := c2.Read(0); v != 1 {
+		t.Error("grandchild must see child's write")
+	}
+	if err := c2.Write(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c3 := Nest(c2)
+	if err := c3.Write(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	c3.Abort() // deepest aborts
+	if err := c2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.vals[0] != 1 || tm.vals[1] != 2 || tm.vals[2] != 0 {
+		t.Errorf("final %v, want [1 2 0]", tm.vals)
+	}
+}
+
+func TestNestedParentAbortSurfacesInChild(t *testing.T) {
+	tm := newFake(1)
+	tm.failReads = 1
+	parent := tm.Begin()
+	child := Nest(parent)
+	if _, err := child.Read(0); !errors.Is(err, ErrAborted) {
+		t.Fatal("parent's forceful abort must surface through the child")
+	}
+}
+
+func TestNestedWriteOrderPreserved(t *testing.T) {
+	// Overwrites within the child must replay as a single final value per
+	// object, in first-write order.
+	tm := newFake(2)
+	parent := tm.Begin()
+	child := Nest(parent)
+	for _, w := range []struct{ i, v int }{{1, 1}, {0, 2}, {1, 3}} {
+		if err := child.Write(w.i, w.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.vals[0] != 2 || tm.vals[1] != 3 {
+		t.Errorf("final %v, want [2 3]", tm.vals)
+	}
+}
+
+// TestNestedRecordedFlattening: under a recorder, committed nested
+// transactions appear as operations of the parent — the paper's §7
+// flattening — and the recorded history is opaque.
+func TestNestedRecordedFlattening(t *testing.T) {
+	rec := NewRecorder(newFake(2))
+	parent := rec.Begin()
+	if _, err := parent.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	child := Nest(parent)
+	if err := child.Write(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.History()
+	if got := len(h.Transactions()); got != 1 {
+		t.Fatalf("flattened history has %d transactions, want 1", got)
+	}
+	execs := h.OpExecs(1)
+	if len(execs) != 2 || execs[1].Obj != "r1" || execs[1].Arg != 5 {
+		t.Errorf("parent ops = %v; the child's write must appear as the parent's", execs)
+	}
+	res, err := core.Opaque(h)
+	if err != nil || !res.Opaque {
+		t.Errorf("flattened nested history must be opaque: %v %v", res, err)
+	}
+}
+
+func TestDirectOps(t *testing.T) {
+	tm := newFake(2)
+	if err := DirectWrite(tm, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := DirectRead(tm, 0)
+	if err != nil || v != 42 {
+		t.Fatalf("DirectRead = %d, %v", v, err)
+	}
+	// Each direct op is its own committed transaction.
+	if tm.begun != 2 {
+		t.Errorf("begun %d transactions, want 2", tm.begun)
+	}
+}
+
+// TestDirectOpsRecorded: §7's encapsulation — non-transactional accesses
+// appear as single-operation committed transactions in the history, and
+// mixing them with ordinary transactions stays opaque.
+func TestDirectOpsRecorded(t *testing.T) {
+	rec := NewRecorder(newFake(2))
+	if err := DirectWrite(rec, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Atomically(rec, func(tx Tx) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(1, v+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DirectRead(rec, 1); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.History()
+	if got := len(h.Transactions()); got != 3 {
+		t.Fatalf("%d transactions, want 3 (2 direct + 1 ordinary)", got)
+	}
+	for _, tx := range h.Transactions() {
+		if !h.Committed(tx) {
+			t.Errorf("T%d not committed", int(tx))
+		}
+	}
+	// The direct ops are single-operation transactions.
+	if n := len(h.OpExecs(1)); n != 1 {
+		t.Errorf("direct write transaction has %d ops", n)
+	}
+	res, err := core.Opaque(h)
+	if err != nil || !res.Opaque {
+		t.Errorf("mixed history must be opaque: %v %v", res, err)
+	}
+	// And the committed values line up.
+	if h.OpExecs(3)[0].Ret != 2 {
+		t.Errorf("final direct read = %v, want 2", h.OpExecs(3)[0].Ret)
+	}
+}
+
+// TestDirectOpsAgainstRealEngine exercises the helpers on a real engine
+// under light concurrency.
+func TestDirectOpsWithNestingEndToEnd(t *testing.T) {
+	tm := newFake(4)
+	err := Atomically(tm, func(tx Tx) error {
+		if err := tx.Write(0, 1); err != nil {
+			return err
+		}
+		child := Nest(tx)
+		if err := child.Write(1, 2); err != nil {
+			return err
+		}
+		if err := child.Commit(); err != nil {
+			return err
+		}
+		doomed := Nest(tx)
+		if err := doomed.Write(2, 3); err != nil {
+			return err
+		}
+		doomed.Abort()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.vals[0] != 1 || tm.vals[1] != 2 || tm.vals[2] != 0 {
+		t.Errorf("final %v, want [1 2 0 0]", tm.vals)
+	}
+}

@@ -1,0 +1,137 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"otm/internal/history"
+)
+
+// ObjName maps object index i to the history object identifier used by
+// the recorder ("r0", "r1", ...).
+func ObjName(i int) history.ObjID {
+	return history.ObjID(fmt.Sprintf("r%d", i))
+}
+
+// Recorder wraps a TM and logs every transactional event of every
+// transaction into a single totally-ordered history. The interleaving is
+// faithful: each invocation event is appended (under the recorder's
+// mutex) immediately before the engine processes the operation, and each
+// response event immediately after — so the recorded order is a legal
+// linearization of the real-time order of the run, exactly the "history"
+// of the paper's model.
+//
+// Recorded histories can then be fed to internal/core.Check: a correct
+// engine must only ever produce opaque histories.
+type Recorder struct {
+	inner TM
+
+	mu     sync.Mutex
+	h      history.History
+	nextTx atomic.Int64
+}
+
+// NewRecorder wraps tm. The returned Recorder is itself a TM.
+func NewRecorder(tm TM) *Recorder {
+	return &Recorder{inner: tm}
+}
+
+// Name implements TM.
+func (r *Recorder) Name() string { return r.inner.Name() + "+rec" }
+
+// Len implements TM.
+func (r *Recorder) Len() int { return r.inner.Len() }
+
+// Begin implements TM, assigning the new transaction the next history
+// identifier T1, T2, ...
+func (r *Recorder) Begin() Tx {
+	id := history.TxID(r.nextTx.Add(1))
+	return &recTx{rec: r, id: id, inner: r.inner.Begin()}
+}
+
+// History returns a snapshot of the recorded history.
+func (r *Recorder) History() history.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.h.Clone()
+}
+
+func (r *Recorder) append(evs ...history.Event) {
+	r.mu.Lock()
+	r.h = append(r.h, evs...)
+	r.mu.Unlock()
+}
+
+// recTx interposes on every operation of one transaction.
+type recTx struct {
+	rec   *Recorder
+	id    history.TxID
+	inner Tx
+	done  bool
+}
+
+// Read implements Tx, recording inv/ret (or inv/A on forceful abort).
+func (t *recTx) Read(i int) (int, error) {
+	if t.done {
+		return 0, ErrAborted
+	}
+	ob := ObjName(i)
+	t.rec.append(history.Inv(t.id, ob, "read", nil))
+	v, err := t.inner.Read(i)
+	if err != nil {
+		t.done = true
+		t.rec.append(history.Abort(t.id))
+		return 0, err
+	}
+	t.rec.append(history.Ret(t.id, ob, "read", v))
+	return v, nil
+}
+
+// Write implements Tx.
+func (t *recTx) Write(i int, v int) error {
+	if t.done {
+		return ErrAborted
+	}
+	ob := ObjName(i)
+	t.rec.append(history.Inv(t.id, ob, "write", v))
+	if err := t.inner.Write(i, v); err != nil {
+		t.done = true
+		t.rec.append(history.Abort(t.id))
+		return err
+	}
+	t.rec.append(history.Ret(t.id, ob, "write", history.OK))
+	return nil
+}
+
+// Commit implements Tx, recording tryC then C or A.
+func (t *recTx) Commit() error {
+	if t.done {
+		return ErrAborted
+	}
+	t.done = true
+	t.rec.append(history.TryC(t.id))
+	err := t.inner.Commit()
+	if err == nil {
+		t.rec.append(history.Commit(t.id))
+		return nil
+	}
+	if errors.Is(err, ErrAborted) {
+		t.rec.append(history.Abort(t.id))
+	}
+	return err
+}
+
+// Abort implements Tx, recording tryA, A.
+func (t *recTx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.rec.append(history.TryA(t.id), history.Abort(t.id))
+	t.inner.Abort()
+}
+
+// Steps implements Tx.
+func (t *recTx) Steps() int64 { return t.inner.Steps() }

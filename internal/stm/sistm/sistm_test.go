@@ -1,0 +1,182 @@
+package sistm
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/criteria"
+	"otm/internal/stm"
+	"otm/internal/stm/stmtest"
+)
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, func(n int) stm.TM { return New(n) },
+		stmtest.Options{Opaque: false, AllowsWriteSkew: true})
+}
+
+// TestSnapshotReadsAlwaysConsistent: unlike gatm, SI never shows a mixed
+// snapshot — the §2 zombie schedule is harmless here (the reader sees
+// the OLD y, like mvstm).
+func TestSnapshotReadsAlwaysConsistent(t *testing.T) {
+	tm := New(2)
+	t1 := tm.Begin()
+	if v, err := t1.Read(0); err != nil || v != 0 {
+		t.Fatalf("read(0) = %d, %v", v, err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := t1.Read(1)
+	if err != nil || v != 0 {
+		t.Fatalf("read(1) = %d, %v; SI must serve the old snapshot", v, err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("read-only SI transactions always commit: %v", err)
+	}
+}
+
+// TestWriteSkewHappens: the defining SI anomaly, deterministic. T1 and
+// T2 each read both objects and write the OTHER one; under SI both
+// commit, producing a non-serializable (hence non-opaque) outcome.
+func TestWriteSkewHappens(t *testing.T) {
+	tm := New(2)
+	if err := stm.DirectWrite(tm, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.DirectWrite(tm, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	t1 := tm.Begin()
+	t2 := tm.Begin()
+	for _, tx := range []stm.Tx{t1, t2} {
+		if _, err := tx.Read(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Read(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := t1.Write(0, 50-60); err != nil { // withdraw 60 from account 0
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 50-60); err != nil { // withdraw 60 from account 1
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit must succeed under SI (disjoint write sets): %v", err)
+	}
+	a, _ := stm.DirectRead(tm, 0)
+	b, _ := stm.DirectRead(tm, 1)
+	if a+b != -20 {
+		t.Fatalf("total = %d; the write-skew outcome is -20", a+b)
+	}
+}
+
+// TestRecordedWriteSkewVerdicts: the recorded write-skew run is neither
+// opaque NOR serializable — a different criteria signature from gatm,
+// whose committed projection stays serializable. SI trades a different
+// part of safety.
+func TestRecordedWriteSkewVerdicts(t *testing.T) {
+	rec := stm.NewRecorder(New(2))
+	seed := rec.Begin()
+	if err := seed.Write(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Write(1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := rec.Begin()
+	t2 := rec.Begin()
+	for _, tx := range []stm.Tx{t1, t2} {
+		if _, err := tx.Read(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Read(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := t1.Write(0, -10); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, -10); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := criteria.Evaluate(rec.History(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Opaque {
+		t.Error("write-skew history must not be opaque")
+	}
+	if rep.Serializable {
+		t.Error("write-skew history must not even be serializable")
+	}
+	if !rep.StrictlyRecoverable {
+		t.Error("SI reads only committed versions: recoverable")
+	}
+}
+
+// TestFirstCommitterWinsOnWriteWrite: overlapping WRITE sets are still
+// detected.
+func TestFirstCommitterWinsOnWriteWrite(t *testing.T) {
+	tm := New(1)
+	t1 := tm.Begin()
+	t2 := tm.Begin()
+	if err := t1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("second writer: %v, want ErrAborted", err)
+	}
+	if v, _ := stm.DirectRead(tm, 0); v != 1 {
+		t.Errorf("value = %d, want the first committer's 1", v)
+	}
+}
+
+// TestConstantReadCost: per-read steps independent of the object count.
+func TestConstantReadCost(t *testing.T) {
+	cost := func(k int) int64 {
+		tm := New(k)
+		tx := tm.Begin()
+		for i := 0; i < k/2; i++ {
+			if _, err := tx.Read(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := tx.Steps()
+		if _, err := tx.Read(k - 1); err != nil {
+			t.Fatal(err)
+		}
+		d := tx.Steps() - before
+		tx.Abort()
+		return d
+	}
+	if c16, c512 := cost(16), cost(512); c16 != c512 {
+		t.Errorf("per-read cost depends on k: %d vs %d", c16, c512)
+	}
+}

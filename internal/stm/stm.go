@@ -1,0 +1,101 @@
+// Package stm defines the transactional-memory programming interface
+// shared by every engine in this repository (internal/stm/dstm, tl2,
+// vstm, mvstm, gatm), the Atomically retry helper, and a recorder that
+// turns live concurrent executions into internal/history histories so
+// the opacity checker can audit real runs.
+//
+// The interface mirrors the paper's model (§4): an application begins a
+// transaction, issues operations (reads and writes of integer registers,
+// the objects of the paper's examples and of Theorem 3's proof), and
+// finally requests commit (tryC) or abort (tryA). Any operation may
+// return ErrAborted, the engine's forceful abort.
+package stm
+
+import "errors"
+
+// ErrAborted is returned by Read, Write and Commit when the engine has
+// (forcefully) aborted the transaction — the abort event A_i arriving in
+// place of an operation response or after tryC.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// TM is a transactional memory instance managing a fixed array of
+// integer registers numbered 0..Len()-1.
+type TM interface {
+	// Name identifies the engine and its strategy, e.g. "dstm".
+	Name() string
+	// Len returns the number of shared objects (k = |Obj| in the paper).
+	Len() int
+	// Begin starts a new transaction.
+	Begin() Tx
+}
+
+// Tx is a live transaction. A transaction is sequential: the caller
+// issues one operation at a time and must not use a Tx from multiple
+// goroutines. After Commit or Abort returns (or any operation returns
+// ErrAborted), the transaction is completed and further calls return
+// ErrAborted.
+type Tx interface {
+	// Read returns the transaction's view of object i, or ErrAborted if
+	// the engine forcefully aborts the transaction instead of answering.
+	Read(i int) (int, error)
+	// Write sets object i to v in the transaction's view.
+	Write(i int, v int) error
+	// Commit is tryC: it attempts to make the transaction's updates
+	// visible atomically. nil means committed; ErrAborted means the
+	// commit request ended in an abort.
+	Commit() error
+	// Abort is tryA: it aborts the transaction voluntarily. It is
+	// idempotent and never fails.
+	Abort()
+	// Steps returns the number of base-shared-object steps the
+	// transaction has executed so far (the cost model of §6.1).
+	Steps() int64
+}
+
+// Statuses of engine-internal transaction descriptors, shared by the
+// engines that use revocable ownership.
+const (
+	StatusActive    int32 = 0
+	StatusCommitted int32 = 1
+	StatusAborted   int32 = 2
+)
+
+// Atomically runs fn inside transactions of tm until one commits: the
+// standard retry loop TM applications use. fn is re-invoked from scratch
+// after every forceful abort (each retry is a fresh transaction with a
+// fresh identifier, as the paper's model prescribes). If fn returns a
+// non-nil error other than ErrAborted, the transaction is aborted
+// voluntarily and the error is returned. The committed attempt's result
+// is nil.
+func Atomically(tm TM, fn func(Tx) error) error {
+	for {
+		tx := tm.Begin()
+		err := fn(tx)
+		switch {
+		case err == nil:
+			if cerr := tx.Commit(); cerr == nil {
+				return nil
+			}
+			// Forcefully aborted at commit: retry.
+		case errors.Is(err, ErrAborted):
+			// Forcefully aborted mid-flight: retry.
+		default:
+			tx.Abort()
+			return err
+		}
+	}
+}
+
+// ReadAll is a convenience for tests and examples: it reads objects
+// [0, n) in order, returning the values, or ErrAborted.
+func ReadAll(tx Tx, n int) ([]int, error) {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		v, err := tx.Read(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

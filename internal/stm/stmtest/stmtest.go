@@ -1,0 +1,583 @@
+// Package stmtest provides a reusable conformance suite for the STM
+// engines of this repository. Each engine's test package calls Run with
+// a factory; the suite exercises sequential semantics, concurrency
+// safety, retry behaviour and — crucially — records concurrent runs and
+// feeds them to the opacity checker of internal/core, closing the loop
+// between the paper's formalism and the executable engines.
+package stmtest
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/stm"
+)
+
+// Factory builds a fresh TM with n objects (initialized to 0).
+type Factory func(n int) stm.TM
+
+// Options tunes the suite for an engine's guarantees.
+type Options struct {
+	// Opaque engines must only produce opaque histories; the suite
+	// verifies recorded runs. Set false for gatm and sistm.
+	Opaque bool
+	// AllowsWriteSkew skips the write-skew-prevention test for engines
+	// whose committed histories are deliberately not serializable
+	// (snapshot isolation).
+	AllowsWriteSkew bool
+	// SingleThreadedOnly skips the concurrency stress tests (unused by
+	// the current engines; kept for experimentation).
+	SingleThreadedOnly bool
+}
+
+// Run executes the whole conformance suite against the engine.
+func Run(t *testing.T, factory Factory, opt Options) {
+	t.Run("SequentialReadWrite", func(t *testing.T) { sequentialReadWrite(t, factory) })
+	t.Run("ReadYourWrites", func(t *testing.T) { readYourWrites(t, factory) })
+	t.Run("AbortDiscards", func(t *testing.T) { abortDiscards(t, factory) })
+	t.Run("AbortedTxRejectsFurtherOps", func(t *testing.T) { abortedTxRejects(t, factory) })
+	t.Run("FreshValuesAcrossTxs", func(t *testing.T) { freshValues(t, factory) })
+	t.Run("StepsAccumulate", func(t *testing.T) { stepsAccumulate(t, factory) })
+	t.Run("NestedTransactions", func(t *testing.T) { nestedTransactions(t, factory) })
+	t.Run("DirectOps", func(t *testing.T) { directOps(t, factory) })
+	if !opt.SingleThreadedOnly {
+		t.Run("ConcurrentCounter", func(t *testing.T) { concurrentCounter(t, factory) })
+		t.Run("BankInvariant", func(t *testing.T) { bankInvariant(t, factory, opt.Opaque) })
+		if !opt.AllowsWriteSkew {
+			t.Run("WriteSkewPrevented", func(t *testing.T) { writeSkewPrevented(t, factory) })
+		}
+		t.Run("HighContentionSwap", func(t *testing.T) { highContentionSwap(t, factory) })
+		if opt.Opaque {
+			t.Run("RecordedHistoryOpaque", func(t *testing.T) { recordedOpaque(t, factory) })
+		}
+	}
+}
+
+func mustCommit(t *testing.T, tx stm.Tx) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit failed: %v", err)
+	}
+}
+
+func sequentialReadWrite(t *testing.T, factory Factory) {
+	tm := factory(4)
+	if tm.Len() != 4 {
+		t.Fatalf("Len = %d", tm.Len())
+	}
+	tx := tm.Begin()
+	for i := 0; i < 4; i++ {
+		v, err := tx.Read(i)
+		if err != nil || v != 0 {
+			t.Fatalf("initial read(%d) = %d, %v", i, v, err)
+		}
+	}
+	if err := tx.Write(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	tx2 := tm.Begin()
+	v, err := tx2.Read(1)
+	if err != nil || v != 42 {
+		t.Fatalf("read after commit = %d, %v", v, err)
+	}
+	v, err = tx2.Read(0)
+	if err != nil || v != 0 {
+		t.Fatalf("untouched object = %d, %v", v, err)
+	}
+	mustCommit(t, tx2)
+}
+
+func readYourWrites(t *testing.T, factory Factory) {
+	tm := factory(2)
+	tx := tm.Begin()
+	if err := tx.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Read(0); err != nil || v != 7 {
+		t.Fatalf("read own write = %d, %v", v, err)
+	}
+	if err := tx.Write(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Read(0); err != nil || v != 8 {
+		t.Fatalf("read own overwrite = %d, %v", v, err)
+	}
+	mustCommit(t, tx)
+	tx2 := tm.Begin()
+	if v, _ := tx2.Read(0); v != 8 {
+		t.Fatalf("committed value = %d, want 8", v)
+	}
+	mustCommit(t, tx2)
+}
+
+func abortDiscards(t *testing.T, factory Factory) {
+	tm := factory(2)
+	tx := tm.Begin()
+	if err := tx.Write(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	tx2 := tm.Begin()
+	if v, err := tx2.Read(0); err != nil || v != 0 {
+		t.Fatalf("aborted write leaked: read = %d, %v", v, err)
+	}
+	mustCommit(t, tx2)
+}
+
+func abortedTxRejects(t *testing.T, factory Factory) {
+	tm := factory(2)
+	tx := tm.Begin()
+	tx.Abort()
+	tx.Abort() // idempotent
+	if _, err := tx.Read(0); !errors.Is(err, stm.ErrAborted) {
+		t.Errorf("read after abort: %v", err)
+	}
+	if err := tx.Write(0, 1); !errors.Is(err, stm.ErrAborted) {
+		t.Errorf("write after abort: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Errorf("commit after abort: %v", err)
+	}
+
+	tx2 := tm.Begin()
+	mustCommit(t, tx2)
+	if err := tx2.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Errorf("double commit: %v", err)
+	}
+}
+
+func freshValues(t *testing.T, factory Factory) {
+	tm := factory(3)
+	for round := 1; round <= 5; round++ {
+		err := stm.Atomically(tm, func(tx stm.Tx) error {
+			for i := 0; i < 3; i++ {
+				if err := tx.Write(i, round*10+i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = stm.Atomically(tm, func(tx stm.Tx) error {
+			vs, err := stm.ReadAll(tx, 3)
+			if err != nil {
+				return err
+			}
+			for i, v := range vs {
+				if v != round*10+i {
+					t.Fatalf("round %d object %d = %d", round, i, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func stepsAccumulate(t *testing.T, factory Factory) {
+	tm := factory(8)
+	tx := tm.Begin()
+	before := tx.Steps()
+	if before < 0 {
+		t.Fatal("negative steps")
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := tx.Steps()
+	if mid < before {
+		t.Error("steps must be monotonic")
+	}
+	mustCommit(t, tx)
+	if tx.Steps() < mid {
+		t.Error("commit steps must not decrease the counter")
+	}
+}
+
+// nestedTransactions exercises the §7 closed-nesting wrapper against the
+// real engine: committed children flatten into the parent, aborted
+// children roll back alone.
+func nestedTransactions(t *testing.T, factory Factory) {
+	tm := factory(3)
+	err := stm.Atomically(tm, func(tx stm.Tx) error {
+		if err := tx.Write(0, 1); err != nil {
+			return err
+		}
+		child := stm.Nest(tx)
+		if v, err := child.Read(0); err != nil || v != 1 {
+			t.Errorf("child must see parent write: %d, %v", v, err)
+		}
+		if err := child.Write(1, 2); err != nil {
+			return err
+		}
+		if err := child.Commit(); err != nil {
+			return err
+		}
+		doomed := stm.Nest(tx)
+		if err := doomed.Write(2, 3); err != nil {
+			return err
+		}
+		doomed.Abort()
+		if v, err := tx.Read(1); err != nil || v != 2 {
+			t.Errorf("committed child write missing: %d, %v", v, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := stm.ReadAll(tm.Begin(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0] != 1 || vs[1] != 2 || vs[2] != 0 {
+		t.Errorf("final state %v, want [1 2 0]", vs)
+	}
+}
+
+// directOps exercises the §7 non-transactional access helpers.
+func directOps(t *testing.T, factory Factory) {
+	tm := factory(1)
+	if err := stm.DirectWrite(tm, 0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := stm.DirectRead(tm, 0); err != nil || v != 11 {
+		t.Fatalf("DirectRead = %d, %v", v, err)
+	}
+}
+
+// concurrentCounter: G goroutines each add 1 to object 0, N times, via
+// the retry loop. Exactly G*N must survive — the classic lost-update
+// test.
+func concurrentCounter(t *testing.T, factory Factory) {
+	tm := factory(1)
+	const goroutines, rounds = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				err := stm.Atomically(tm, func(tx stm.Tx) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var final int
+	if err := stm.Atomically(tm, func(tx stm.Tx) error {
+		v, err := tx.Read(0)
+		final = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if final != goroutines*rounds {
+		t.Errorf("counter = %d, want %d (lost updates)", final, goroutines*rounds)
+	}
+}
+
+// bankInvariant: concurrent transfers between 8 accounts. Every
+// *committed* observer transaction must have seen the total conserved;
+// when the engine claims opacity, even in-flight (possibly doomed)
+// observers must — that is precisely the difference between global
+// atomicity and opacity, and the reason the inFlight flag exists (gatm
+// legitimately shows torn totals to transactions it later aborts).
+func bankInvariant(t *testing.T, factory Factory, inFlight bool) {
+	const accounts, initial = 8, 100
+	tm := factory(accounts)
+	if err := stm.Atomically(tm, func(tx stm.Tx) error {
+		for i := 0; i < accounts; i++ {
+			if err := tx.Write(i, initial); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var transferrers, observers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		transferrers.Add(1)
+		go func(seed int64) {
+			defer transferrers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amt := rng.Intn(20)
+				err := stm.Atomically(tm, func(tx stm.Tx) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, fv-amt); err != nil {
+						return err
+					}
+					if from == to {
+						return tx.Write(to, fv)
+					}
+					return tx.Write(to, tv+amt)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g) + 1)
+	}
+	// Observers: every committed snapshot must conserve the total.
+	for g := 0; g < 2; g++ {
+		observers.Add(1)
+		go func() {
+			defer observers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sum int
+				err := stm.Atomically(tm, func(tx stm.Tx) error {
+					sum = 0
+					for i := 0; i < accounts; i++ {
+						v, err := tx.Read(i)
+						if err != nil {
+							return err
+						}
+						sum += v
+					}
+					if inFlight && sum != accounts*initial {
+						t.Errorf("live observer saw total %d, want %d (opacity violation)", sum, accounts*initial)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// The attempt that committed must have seen the invariant
+				// (global atomicity — required of every engine).
+				if sum != accounts*initial {
+					t.Errorf("committed observer saw total %d, want %d", sum, accounts*initial)
+				}
+			}
+		}()
+	}
+	transferrers.Wait()
+	close(stop)
+	observers.Wait()
+
+	// Final total.
+	if err := stm.Atomically(tm, func(tx stm.Tx) error {
+		sum := 0
+		for i := 0; i < accounts; i++ {
+			v, err := tx.Read(i)
+			if err != nil {
+				return err
+			}
+			sum += v
+		}
+		if sum != accounts*initial {
+			t.Errorf("final total %d, want %d", sum, accounts*initial)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeSkewPrevented: the classic two-account write-skew anomaly. Both
+// accounts start at 50; a transaction may withdraw 60 from one account
+// only if the combined balance is at least 60. Serializably, exactly one
+// withdrawal can succeed (the second sees 40 and declines), so the final
+// total is 40; under write skew both would succeed, leaving −20. Every
+// engine here — including gatm, whose committed transactions are
+// serializable — must end at 40.
+func writeSkewPrevented(t *testing.T, factory Factory) {
+	for round := 0; round < 20; round++ {
+		tm := factory(2)
+		if err := stm.Atomically(tm, func(tx stm.Tx) error {
+			if err := tx.Write(0, 50); err != nil {
+				return err
+			}
+			return tx.Write(1, 50)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(target int) {
+				defer wg.Done()
+				err := stm.Atomically(tm, func(tx stm.Tx) error {
+					a, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					b, err := tx.Read(1)
+					if err != nil {
+						return err
+					}
+					if a+b < 60 {
+						return nil // decline
+					}
+					v := a
+					if target == 1 {
+						v = b
+					}
+					return tx.Write(target, v-60)
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}(g)
+		}
+		wg.Wait()
+		var total int
+		if err := stm.Atomically(tm, func(tx stm.Tx) error {
+			a, err := tx.Read(0)
+			if err != nil {
+				return err
+			}
+			b, err := tx.Read(1)
+			if err != nil {
+				return err
+			}
+			total = a + b
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if total != 40 {
+			t.Fatalf("round %d: final total %d, want 40 (write skew if negative)", round, total)
+		}
+	}
+}
+
+// highContentionSwap: goroutines repeatedly swap two hot objects; the
+// multiset of values must be preserved.
+func highContentionSwap(t *testing.T, factory Factory) {
+	tm := factory(2)
+	if err := stm.Atomically(tm, func(tx stm.Tx) error {
+		if err := tx.Write(0, 1); err != nil {
+			return err
+		}
+		return tx.Write(1, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if err := stm.Atomically(tm, func(tx stm.Tx) error {
+					a, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					b, err := tx.Read(1)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(0, b); err != nil {
+						return err
+					}
+					return tx.Write(1, a)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := stm.Atomically(tm, func(tx stm.Tx) error {
+		a, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		b, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		if a+b != 3 || a == b {
+			t.Errorf("swap corrupted values: %d, %d", a, b)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordedOpaque runs a small seeded concurrent workload under the
+// recorder and checks every recorded history with the definitional
+// opacity checker — the integration point between engines and formalism.
+func recordedOpaque(t *testing.T, factory Factory) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rec := stm.NewRecorder(factory(4))
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 4; i++ {
+					tx := rec.Begin()
+					alive := true
+					for op := 0; op < 3 && alive; op++ {
+						obj := rng.Intn(4)
+						if rng.Intn(2) == 0 {
+							if _, err := tx.Read(obj); err != nil {
+								alive = false
+							}
+						} else {
+							if err := tx.Write(obj, rng.Intn(1000)+1); err != nil {
+								alive = false
+							}
+						}
+					}
+					if alive {
+						_ = tx.Commit()
+					}
+				}
+			}(seed*100 + int64(g))
+		}
+		wg.Wait()
+		h := rec.History()
+		res, err := core.Check(h, core.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: checker error: %v\n%s", seed, err, h.Format())
+		}
+		if !res.Opaque {
+			t.Fatalf("seed %d: engine produced a non-opaque history:\n%s", seed, h.Format())
+		}
+	}
+}

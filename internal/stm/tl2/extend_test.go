@@ -1,0 +1,151 @@
+package tl2
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/stm"
+	"otm/internal/stm/stmtest"
+)
+
+func TestExtendingConformance(t *testing.T) {
+	stmtest.Run(t, func(n int) stm.TM { return NewExtending(n) }, stmtest.Options{Opaque: true})
+}
+
+// TestExtensionSurvivesTheorem3Scenario: where plain TL2 aborts the
+// probe read (non-progressive), the extending variant revalidates its
+// snapshot and serves the new value — at Θ(r) cost.
+func TestExtensionSurvivesTheorem3Scenario(t *testing.T) {
+	const k = 32
+	tm := NewExtending(k)
+	t1 := tm.Begin()
+	for i := 0; i < k/2; i++ {
+		if _, err := t1.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(k-1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := t1.Steps()
+	v, err := t1.Read(k - 1)
+	cost := t1.Steps() - before
+	if err != nil || v != 7 {
+		t.Fatalf("probe read = %d, %v; extension must serve the new value", v, err)
+	}
+	// The extension revalidated k/2 reads: Θ(r) steps, not O(1).
+	if cost < int64(k/2) {
+		t.Errorf("probe cost %d steps; extension must pay Ω(r)=%d", cost, k/2)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("extended transaction must commit: %v", err)
+	}
+}
+
+// TestExtensionFailsOnRealConflict: if the committed writer touched an
+// object we READ, the snapshot cannot be extended and the transaction
+// aborts (still not progressive — the conflicting writer completed).
+func TestExtensionFailsOnRealConflict(t *testing.T) {
+	tm := NewExtending(2)
+	t1 := tm.Begin()
+	if v, err := t1.Read(0); err != nil || v != 0 {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("read(1) after the snapshot was invalidated: %v, want ErrAborted", err)
+	}
+}
+
+// TestExtensionConflictFreeReadsO1: without conflicts the variant keeps
+// TL2's O(1) reads.
+func TestExtensionConflictFreeReadsO1(t *testing.T) {
+	const k = 128
+	tm := NewExtending(k)
+	tx := tm.Begin()
+	var first, last int64
+	for i := 0; i < k; i++ {
+		before := tx.Steps()
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+		cost := tx.Steps() - before
+		if i == 0 {
+			first = cost
+		}
+		last = cost
+	}
+	if first != last {
+		t.Errorf("conflict-free read cost drifted %d→%d; must stay O(1)", first, last)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtensionRecordedOpaque: the extension schedule produces an opaque
+// history (the reader serializes after the writer).
+func TestExtensionRecordedOpaque(t *testing.T) {
+	rec := stm.NewRecorder(NewExtending(3))
+	t1 := rec.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := rec.Begin()
+	if err := t2.Write(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := t1.Read(1); err != nil || v != 5 {
+		t.Fatalf("extended read = %d, %v", v, err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Opaque(rec.History())
+	if err != nil || !res.Opaque {
+		t.Fatalf("extension history must be opaque: %v %v\n%s", res, err, rec.History().Format())
+	}
+}
+
+// TestExtensionWriteSkewStillPrevented: commit-time validation is
+// inherited from TL2.
+func TestExtensionWriteSkewStillPrevented(t *testing.T) {
+	tm := NewExtending(2)
+	t1 := tm.Begin()
+	t2 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("second skewed committer: %v, want ErrAborted", err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package tl2 implements a TL2-style software transactional memory
+// (Dice, Shalev, Shavit, DISC 2006): a global version clock, per-object
+// versioned write-locks, invisible reads, lazy (buffered) writes and
+// commit-time locking.
+//
+// TL2 is the paper's example of escaping the Ω(k) lower bound by
+// dropping progressiveness (§6.2): each read costs O(1) base-object
+// steps — two version-word loads and one value load — because a read
+// only checks that the object's version is no newer than the
+// transaction's birth timestamp rv. The price is that a transaction may
+// be forcefully aborted because of a transaction that has already
+// committed (its version stamp exceeds rv), a conflict with a
+// *completed* transaction — exactly what progressiveness forbids.
+// Opacity is nevertheless guaranteed: every value returned is consistent
+// with the snapshot at timestamp rv.
+package tl2
+
+import (
+	"sort"
+
+	"otm/internal/base"
+	"otm/internal/stm"
+)
+
+// verWord encoding: version<<1 | lockBit.
+const lockBit = 1
+
+// TM is a TL2-style transactional memory over Len integer registers.
+type TM struct {
+	clock base.U64
+	vers  []base.U64
+	vals  []base.I64
+}
+
+// New returns a TL2-style TM with n objects initialized to 0.
+func New(n int) *TM {
+	return &TM{vers: make([]base.U64, n), vals: make([]base.I64, n)}
+}
+
+// Name implements stm.TM.
+func (t *TM) Name() string { return "tl2" }
+
+// Len implements stm.TM.
+func (t *TM) Len() int { return len(t.vers) }
+
+// Begin implements stm.TM: the transaction samples the global clock as
+// its read version rv.
+func (t *TM) Begin() stm.Tx {
+	x := &tx{tm: t}
+	x.rv = t.clock.Load(&x.steps)
+	return x
+}
+
+type tx struct {
+	tm     *TM
+	rv     uint64
+	steps  base.StepCounter
+	reads  []int
+	inRead map[int]bool
+	writes map[int]int
+	done   bool
+}
+
+// Steps implements stm.Tx.
+func (t *tx) Steps() int64 { return t.steps.Count() }
+
+// Read implements stm.Tx: the O(1) TL2 read — sample version, load
+// value, resample version; abort unless the object is unlocked and no
+// newer than rv.
+func (t *tx) Read(i int) (int, error) {
+	if t.done {
+		return 0, stm.ErrAborted
+	}
+	if v, ok := t.writes[i]; ok {
+		return v, nil
+	}
+	v1 := t.tm.vers[i].Load(&t.steps)
+	val := t.tm.vals[i].Load(&t.steps)
+	v2 := t.tm.vers[i].Load(&t.steps)
+	if v1&lockBit != 0 || v1 != v2 || v1>>1 > t.rv {
+		// Locked, torn, or written after we started: TL2 aborts — even
+		// though the conflicting writer may long have committed. This is
+		// the non-progressive abort.
+		t.done = true
+		return 0, stm.ErrAborted
+	}
+	if !t.inRead[i] {
+		if t.inRead == nil {
+			t.inRead = make(map[int]bool)
+		}
+		t.inRead[i] = true
+		t.reads = append(t.reads, i)
+	}
+	return int(val), nil
+}
+
+// Write implements stm.Tx: writes are buffered locally (zero base steps)
+// until commit.
+func (t *tx) Write(i int, v int) error {
+	if t.done {
+		return stm.ErrAborted
+	}
+	if t.writes == nil {
+		t.writes = make(map[int]int)
+	}
+	t.writes[i] = v
+	return nil
+}
+
+// Commit implements stm.Tx: lock the write set (in object order, to
+// avoid deadlock between committers), increment the global clock,
+// validate the read set against rv, then write back values stamped with
+// the new version.
+func (t *tx) Commit() error {
+	if t.done {
+		return stm.ErrAborted
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		// Read-only: every read was consistent at rv; nothing to
+		// publish. O(1) commit.
+		return nil
+	}
+
+	wobjs := make([]int, 0, len(t.writes))
+	for i := range t.writes {
+		wobjs = append(wobjs, i)
+	}
+	sort.Ints(wobjs)
+
+	locked := make([]int, 0, len(wobjs))
+	release := func() {
+		for _, i := range locked {
+			v := t.tm.vers[i].Load(&t.steps)
+			t.tm.vers[i].Store(&t.steps, v&^lockBit)
+		}
+	}
+	for _, i := range wobjs {
+		v := t.tm.vers[i].Load(&t.steps)
+		if v&lockBit != 0 || !t.tm.vers[i].CAS(&t.steps, v, v|lockBit) {
+			release()
+			return stm.ErrAborted
+		}
+		locked = append(locked, i)
+		if t.inRead[i] && v>>1 > t.rv {
+			// We read this object earlier and someone committed a newer
+			// version since: the read-set entry is stale.
+			release()
+			return stm.ErrAborted
+		}
+	}
+
+	wv := t.tm.clock.Add(&t.steps, 1)
+
+	for _, i := range t.reads {
+		if t.writes != nil {
+			if _, own := t.writes[i]; own {
+				continue // we hold its lock
+			}
+		}
+		v := t.tm.vers[i].Load(&t.steps)
+		if v&lockBit != 0 || v>>1 > t.rv {
+			release()
+			return stm.ErrAborted
+		}
+	}
+
+	for _, i := range wobjs {
+		t.tm.vals[i].Store(&t.steps, int64(t.writes[i]))
+		t.tm.vers[i].Store(&t.steps, wv<<1)
+	}
+	return nil
+}
+
+// Abort implements stm.Tx.
+func (t *tx) Abort() {
+	t.done = true
+}

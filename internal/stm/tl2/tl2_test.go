@@ -1,0 +1,211 @@
+package tl2
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/stm"
+	"otm/internal/stm/stmtest"
+)
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, func(n int) stm.TM { return New(n) }, stmtest.Options{Opaque: true})
+}
+
+// TestNotProgressive reproduces §6.2's observation: TL2 forcefully aborts
+// a transaction that conflicts only with an ALREADY COMMITTED one — a
+// progressive TM (dstm) would let it continue. This is the property TL2
+// trades for O(1) reads.
+func TestNotProgressive(t *testing.T) {
+	tm := New(2)
+	t1 := tm.Begin() // rv = 0
+
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// T2 is completed. T1 now reads the object T2 wrote: version 1 > rv,
+	// so TL2 aborts T1 although no live transaction conflicts with it.
+	if _, err := t1.Read(0); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("read of post-rv version: %v, want ErrAborted", err)
+	}
+}
+
+// TestZombiePrevented: the same §2 schedule as in the dstm tests; TL2
+// must also never expose the mixed snapshot (it aborts at the second
+// read because r1's version exceeds rv).
+func TestZombiePrevented(t *testing.T) {
+	tm := New(2)
+	t1 := tm.Begin()
+	if v, err := t1.Read(0); err != nil || v != 0 {
+		t.Fatalf("t1 read(0) = %d, %v", v, err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("t1 read(1): %v, want ErrAborted", err)
+	}
+}
+
+// TestConstantReadCost: every read costs the same small number of base
+// steps regardless of how many objects were read before — the O(1)
+// per-operation complexity that escapes the lower bound.
+func TestConstantReadCost(t *testing.T) {
+	const k = 128
+	tm := New(k)
+	tx := tm.Begin()
+	var first, last int64
+	for i := 0; i < k; i++ {
+		before := tx.Steps()
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+		cost := tx.Steps() - before
+		if i == 0 {
+			first = cost
+		}
+		last = cost
+	}
+	if first != last {
+		t.Errorf("read cost drifted from %d to %d; TL2 reads must be O(1)", first, last)
+	}
+	if last > 5 {
+		t.Errorf("read cost %d, want ≤5 (two version loads + one value load)", last)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitValidationCatchesStaleRead: read before a conflicting commit,
+// then try to commit an update — commit-time validation must abort.
+func TestCommitValidationCatchesStaleRead(t *testing.T) {
+	tm := New(2)
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("stale update commit: %v, want ErrAborted", err)
+	}
+	t3 := tm.Begin()
+	if v, _ := t3.Read(1); v != 0 {
+		t.Errorf("aborted write leaked: %d", v)
+	}
+}
+
+// TestReadWriteObjectStaleAtLock: T1 reads AND writes r0; T2 commits a
+// newer r0 in between; T1's commit must fail at lock time.
+func TestReadWriteObjectStaleAtLock(t *testing.T) {
+	tm := New(1)
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("read-write object with newer version: %v, want ErrAborted", err)
+	}
+	t3 := tm.Begin()
+	if v, _ := t3.Read(0); v != 9 {
+		t.Errorf("value = %d, want T2's 9", v)
+	}
+}
+
+// TestBlindWritesBothCommit: two buffered blind writers to the same
+// object both commit (no read sets to invalidate); last committer wins.
+func TestBlindWritesBothCommit(t *testing.T) {
+	tm := New(1)
+	t1 := tm.Begin()
+	t2 := tm.Begin()
+	if err := t1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t3 := tm.Begin()
+	if v, _ := t3.Read(0); v != 2 {
+		t.Errorf("value = %d, want the later committer's 2", v)
+	}
+}
+
+// TestRecordedNonProgressiveAbortOpaque: the forceful abort TL2 performs
+// is still an opaque outcome.
+func TestRecordedNonProgressiveAbortOpaque(t *testing.T) {
+	rec := stm.NewRecorder(New(2))
+	t1 := rec.Begin()
+	t2 := rec.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(0); !errors.Is(err, stm.ErrAborted) {
+		t.Fatal("expected the non-progressive abort")
+	}
+	res, err := core.Opaque(rec.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatalf("recorded history must be opaque:\n%s", rec.History().Format())
+	}
+}
+
+// TestReadOnlyCommitCheap: a read-only transaction's commit performs no
+// base steps (TL2 read-only fast path).
+func TestReadOnlyCommitCheap(t *testing.T) {
+	tm := New(4)
+	tx := tm.Begin()
+	for i := 0; i < 4; i++ {
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tx.Steps()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Steps() - before; got != 0 {
+		t.Errorf("read-only commit cost %d steps, want 0", got)
+	}
+}

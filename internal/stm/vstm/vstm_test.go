@@ -1,0 +1,285 @@
+package vstm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"otm/internal/cm"
+	"otm/internal/core"
+	"otm/internal/stm"
+	"otm/internal/stm/stmtest"
+)
+
+func TestConformance(t *testing.T) {
+	managers := map[string]cm.Manager{
+		"aggressive": cm.Aggressive{},
+		"polite":     cm.Polite{MaxSpins: 2},
+		"karma":      cm.Karma{MaxSpins: 2},
+		"greedy":     cm.Greedy{},
+	}
+	for name, mgr := range managers {
+		mgr := mgr
+		t.Run(name, func(t *testing.T) {
+			stmtest.Run(t, func(n int) stm.TM { return New(n, mgr) }, stmtest.Options{Opaque: true})
+		})
+	}
+}
+
+// TestVisibleReaderAbortedByWriter: the defining behaviour of visible
+// reads — the writer sees the reader and kills it, instead of the reader
+// having to validate. (Aggressive manager: attacker wins.)
+func TestVisibleReaderAbortedByWriter(t *testing.T) {
+	tm := New(2, cm.Aggressive{})
+	t1 := tm.Begin()
+	if v, err := t1.Read(0); err != nil || v != 0 {
+		t.Fatalf("t1 read = %d, %v", v, err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil { // aborts the visible reader T1
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// T1 was aborted by T2; its next operation reports it.
+	if _, err := t1.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("aborted reader's next read: %v, want ErrAborted", err)
+	}
+}
+
+// TestWriterYieldsToReaderSuicidal: with the Suicidal manager the writer
+// defers to the registered reader.
+func TestWriterYieldsToReaderSuicidal(t *testing.T) {
+	tm := New(1, cm.Suicidal{})
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("suicidal writer vs reader: %v, want ErrAborted", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("reader must survive: %v", err)
+	}
+}
+
+// TestNoZombiePossible: the §2 schedule cannot even be formed — T2's
+// first write aborts T1, so T1 never observes the mixed snapshot.
+func TestNoZombiePossible(t *testing.T) {
+	tm := New(2, cm.Aggressive{})
+	t1 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("t1 must already be dead: %v", err)
+	}
+}
+
+// TestConstantReadCost: per-read step count does not grow with the read
+// set — no validation, ever.
+func TestConstantReadCost(t *testing.T) {
+	const k = 128
+	tm := New(k, cm.Aggressive{})
+	tx := tm.Begin()
+	var first, last int64
+	for i := 0; i < k; i++ {
+		before := tx.Steps()
+		if _, err := tx.Read(i); err != nil {
+			t.Fatal(err)
+		}
+		cost := tx.Steps() - before
+		if i == 0 {
+			first = cost
+		}
+		last = cost
+	}
+	if last > first+2 {
+		t.Errorf("read cost grew from %d to %d; visible reads must be O(1)", first, last)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEagerWriteUndoneOnAbort: an aborted eager writer's value is rolled
+// back for subsequent readers.
+func TestEagerWriteUndoneOnAbort(t *testing.T) {
+	tm := New(1, cm.Aggressive{})
+	t1 := tm.Begin()
+	if err := t1.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	t1.Abort()
+	t2 := tm.Begin()
+	if v, err := t2.Read(0); err != nil || v != 0 {
+		t.Fatalf("undo failed: read = %d, %v", v, err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyRepairByReader: a reader arriving after a writer was aborted
+// (by a third party) repairs the object before reading.
+func TestLazyRepairByReader(t *testing.T) {
+	tm := New(1, cm.Aggressive{})
+	victim := tm.Begin()
+	if err := victim.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	killer := tm.Begin()
+	if err := killer.Write(0, 7); err != nil { // aborts victim, installs 7
+		t.Fatal(err)
+	}
+	killer.Abort() // and then aborts voluntarily: both writes must vanish
+	reader := tm.Begin()
+	if v, err := reader.Read(0); err != nil || v != 0 {
+		t.Fatalf("read = %d, %v; both aborted writes must be undone", v, err)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterWriterConflict: ownership transfers to the aggressor.
+func TestWriterWriterConflict(t *testing.T) {
+	tm := New(1, cm.Aggressive{})
+	t1 := tm.Begin()
+	if err := t1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tm.Begin()
+	if err := t2.Write(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Errorf("victim commit: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t3 := tm.Begin()
+	if v, _ := t3.Read(0); v != 2 {
+		t.Errorf("value = %d, want 2", v)
+	}
+}
+
+// TestRecordedConflictScheduleOpaque: the visible-read kill schedule
+// recorded and checked.
+func TestRecordedConflictScheduleOpaque(t *testing.T) {
+	rec := stm.NewRecorder(New(2, cm.Aggressive{}))
+	t1 := rec.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := rec.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = t1.Read(1) // dead; recorder logs the abort
+	res, err := core.Opaque(rec.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatalf("recorded history must be opaque:\n%s", rec.History().Format())
+	}
+}
+
+// TestHotObjectContentionStorm hammers one object with readers and
+// writers under the Polite manager — the policy whose Wait decision
+// drops the object lock mid-conflict, exercising the re-scan loops in
+// clearWriter/clearReaders. The final value must be one goroutine's
+// last write and the register must never tear.
+func TestHotObjectContentionStorm(t *testing.T) {
+	tm := New(1, cm.Polite{MaxSpins: 2})
+	const goroutines, rounds = 8, 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if g%2 == 0 {
+					err := stm.Atomically(tm, func(tx stm.Tx) error {
+						v, err := tx.Read(0)
+						if err != nil {
+							return err
+						}
+						if v%1000 >= 500 {
+							return fmt.Errorf("torn value %d", v)
+						}
+						return tx.Write(0, g*1000+i)
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					err := stm.Atomically(tm, func(tx stm.Tx) error {
+						v, err := tx.Read(0)
+						if err != nil {
+							return err
+						}
+						if v%1000 >= 500 {
+							return fmt.Errorf("torn value %d", v)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	v, err := stm.DirectRead(tm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v%1000 >= rounds || v/1000 >= goroutines {
+		t.Errorf("final value %d is not any goroutine's write", v)
+	}
+}
+
+// TestMultipleReadersCoexist: visible readers do not conflict with each
+// other.
+func TestMultipleReadersCoexist(t *testing.T) {
+	tm := New(1, cm.Aggressive{})
+	t1 := tm.Begin()
+	t2 := tm.Begin()
+	if _, err := t1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

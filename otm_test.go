@@ -1,0 +1,198 @@
+package otm_test
+
+// End-to-end tests through the public facade only — what a downstream
+// user of the library sees.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"otm"
+)
+
+func TestFacadeHistoryAndCheck(t *testing.T) {
+	h := otm.NewHistory().
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory()
+	res, err := otm.CheckOpacity(h, otm.CheckConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatal("trivial reads-from history must be opaque")
+	}
+	if len(res.Witness.Order) != 2 {
+		t.Errorf("witness %v", res.Witness.Order)
+	}
+}
+
+func TestFacadeParseAndCriteria(t *testing.T) {
+	h, err := otm.ParseHistory(
+		"w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := otm.EvaluateCriteria(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Opaque || !rep.GloballyAtomic || !rep.StrictlyRecoverable {
+		t.Errorf("Figure 1 verdicts wrong: %+v", rep)
+	}
+}
+
+func TestFacadeTheorem2(t *testing.T) {
+	h := otm.NewHistory().
+		Write(0, "x", 0).Commits(0). // initializing transaction
+		Write(1, "x", 1).Commits(1).
+		Read(2, "x", 1).Commits(2).
+		MustHistory()
+	res, err := otm.CheckTheorem2(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque || !res.Consistent {
+		t.Errorf("theorem 2 verdict: %+v", res)
+	}
+}
+
+func TestFacadeObjectSpecs(t *testing.T) {
+	h := otm.NewHistory().
+		Op(1, "c", "inc", nil, "ok").Commits(1).
+		Op(2, "c", "get", nil, 1).Commits(2).
+		MustHistory()
+	res, err := otm.CheckOpacity(h, otm.CheckConfig{
+		Objects: otm.ObjectSpecs{"c": otm.NewCounter(0)},
+	})
+	if err != nil || !res.Opaque {
+		t.Fatalf("counter history: %v %v", res, err)
+	}
+}
+
+func TestFacadeEnginesEndToEnd(t *testing.T) {
+	engines := map[string]otm.TM{
+		"dstm":  otm.NewDSTM(8, otm.Aggressive),
+		"tl2":   otm.NewTL2(8),
+		"vstm":  otm.NewVSTM(8, otm.Polite),
+		"mvstm": otm.NewMVSTM(8),
+		"gatm":  otm.NewGATM(8),
+	}
+	for name, tm := range engines {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					err := otm.Atomically(tm, func(tx otm.Tx) error {
+						v, err := tx.Read(g)
+						if err != nil {
+							return err
+						}
+						return tx.Write(g, v+1)
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < 4; g++ {
+			v, err := otm.DirectRead(tm, g)
+			if err != nil || v != 25 {
+				t.Errorf("%s: slot %d = %d, %v; want 25", name, g, v, err)
+			}
+		}
+	}
+}
+
+func TestFacadeRecorderAudit(t *testing.T) {
+	rec := otm.NewRecorder(otm.NewDSTM(2, otm.Greedy))
+	if err := otm.DirectWrite(rec, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	err := otm.Atomically(rec, func(tx otm.Tx) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		child := otm.Nest(tx)
+		if err := child.Write(1, v*2); err != nil {
+			return err
+		}
+		return child.Commit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := otm.CheckOpacity(rec.History(), otm.CheckConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatalf("recorded facade run must be opaque:\n%s", rec.History().Format())
+	}
+	if v, _ := otm.DirectRead(rec, 1); v != 10 {
+		t.Errorf("nested write result = %d, want 10", v)
+	}
+}
+
+func TestFacadeDiagnoseAndStrong(t *testing.T) {
+	h, err := otm.ParseHistory(
+		"w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := otm.DiagnoseOpacity(h, otm.CheckConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Opaque || len(d.Implicated) == 0 {
+		t.Errorf("diagnosis = %+v", d)
+	}
+	// Strong opacity rejects even the opaque H4.
+	h4 := otm.NewHistory().
+		Read(1, "x", 0).
+		Write(2, "x", 5).Write(2, "y", 5).TryC(2).
+		Read(3, "y", 5).
+		Read(1, "y", 0).
+		MustHistory()
+	res, err := otm.CheckStrongOpacity(h4, otm.CheckConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque {
+		t.Error("H4 must fail strong opacity through the facade too")
+	}
+}
+
+func TestFacadeNewEngines(t *testing.T) {
+	for name, tm := range map[string]otm.TM{
+		"tl2x":     otm.NewTL2Extending(4),
+		"sistm":    otm.NewSISTM(4),
+		"mvstm-gc": otm.NewMVSTMWithGC(4),
+	} {
+		if err := otm.DirectWrite(tm, 0, 5); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v, err := otm.DirectRead(tm, 0); err != nil || v != 5 {
+			t.Fatalf("%s: read = %d, %v", name, v, err)
+		}
+	}
+}
+
+func TestFacadeErrAborted(t *testing.T) {
+	tm := otm.NewTL2(1)
+	t1 := tm.Begin()
+	if err := otm.DirectWrite(tm, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := t1.Read(0)
+	if !errors.Is(err, otm.ErrAborted) {
+		t.Errorf("expected ErrAborted through the facade, got %v", err)
+	}
+}
