@@ -11,6 +11,9 @@ package otm
 //	BenchmarkThroughput/*      E13 — read-dominated workload comparison.
 //	BenchmarkCheckOpacity/*    E1/E2 — the checkers on the paper's
 //	                                 figures and on random histories.
+//	BenchmarkCheckOpacityBatch/*     — bulk checking of a 1k-history
+//	                                 corpus: sequential vs the checkpool
+//	                                 workers vs the un-memoized reference.
 //	BenchmarkTheorem2          E8  — graph-characterization search.
 //
 // Step counts are reported via the custom metrics steps/op so the
@@ -21,6 +24,7 @@ import (
 	"testing"
 
 	"otm/internal/bench"
+	"otm/internal/checkpool"
 	"otm/internal/core"
 	"otm/internal/gen"
 	"otm/internal/history"
@@ -215,6 +219,48 @@ func BenchmarkCheckOpacity(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCheckOpacityBatch times bulk opacity checking of a
+// 1000-history corpus: the sequential baseline (one core.Check after
+// another), the same work through internal/checkpool at several widths
+// (the `opacheck -parallel` path), and the un-memoized reference engine
+// to expose what the memo table buys on the single-threaded hot path.
+// On a machine with ≥4 cores, parallel4 should beat sequential by ≥3×.
+func BenchmarkCheckOpacityBatch(b *testing.B) {
+	hs := gen.Corpus(gen.Config{Txs: 6, Objs: 3, MaxOps: 4, PStaleRead: 0.3}, 1000, 1)
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, h := range hs {
+				if _, err := core.Opaque(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		cfg := core.Config{DisableMemo: true}
+		for i := 0; i < b.N; i++ {
+			for _, h := range hs {
+				if _, err := core.Check(h, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
+			p := checkpool.New(checkpool.Options{Workers: workers})
+			for i := 0; i < b.N; i++ {
+				for _, v := range p.CheckAll(hs) {
+					if v.Err != nil {
+						b.Fatal(v.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTheorem2 times the graph-characterization search (E8) on the

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	opacheck [-counter obj] [-graph] [-demo name] [history...]
+//	opacheck -parallel N [-counter obj] [-maxnodes B] [file...]
 //
 // Histories are given as arguments or read from stdin (one per line; see
 // internal/history.Parse for the grammar), e.g.:
@@ -13,15 +14,30 @@
 //
 // -demo prints one of the paper's built-in examples: fig1, fig2, h3, h4,
 // counter, writers.
+//
+// -parallel N switches to streaming batch mode: arguments are files of
+// histories (one per line; "-" or no arguments reads stdin), checked
+// concurrently by N workers from internal/checkpool, and each input line
+// yields exactly one verdict line on stdout, in input order:
+//
+//	histories.txt:3 opaque nodes=42 order="T1 T2"
+//	histories.txt:4 non-opaque nodes=97
+//	histories.txt:5 error parse: bad token "zzz"
+//
+// A summary goes to stderr. The exit status is 1 if any line errored
+// (parse failure, malformed history, search-budget exhaustion), else 0;
+// non-opaque is a verdict, not an error.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"otm/internal/checkpool"
 	"otm/internal/core"
 	"otm/internal/criteria"
 	"otm/internal/history"
@@ -43,7 +59,17 @@ func main() {
 	graph := flag.Bool("graph", false, "also run the Theorem 2 graph characterization (register histories, adds T0)")
 	explain := flag.Bool("explain", false, "for non-opaque histories, locate the violation and implicated transactions")
 	demo := flag.String("demo", "", "check a built-in paper example: fig1|fig2|h3|h4|counter|writers")
+	parallel := flag.Int("parallel", 0, "batch mode: check histories from files/stdin with N concurrent workers")
+	maxNodes := flag.Int("maxnodes", 0, "batch mode: per-history search-node budget (0 = checker default)")
 	flag.Parse()
+
+	if *parallel > 0 {
+		if *graph || *explain || *demo != "" {
+			fmt.Fprintln(os.Stderr, "opacheck: -parallel is incompatible with -graph, -explain and -demo")
+			os.Exit(2)
+		}
+		os.Exit(runBatch(os.Stdout, *parallel, *maxNodes, *counterObjs, flag.Args()))
+	}
 
 	var inputs []string
 	switch {
@@ -78,6 +104,105 @@ func main() {
 	os.Exit(exit)
 }
 
+// counterObjects builds the object environment implied by the -counter
+// flag: the named objects are counters; everything else defaults to a
+// register initialized to 0 inside the checkers.
+func counterObjects(counterObjs string) spec.Objects {
+	objs := spec.Objects{}
+	for _, name := range strings.Split(counterObjs, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			objs[history.ObjID(name)] = spec.NewCounter(0)
+		}
+	}
+	return objs
+}
+
+// runBatch is the -parallel mode: stream histories from the given files
+// (or stdin), check them on a checkpool of the given width, and print one
+// verdict line per input line, in input order. It returns the process
+// exit code.
+func runBatch(out io.Writer, workers, maxNodes int, counterObjs string, paths []string) int {
+	pool := checkpool.New(checkpool.Options{
+		Workers: workers,
+		Config: core.Config{
+			Objects:  counterObjects(counterObjs),
+			MaxNodes: maxNodes,
+		},
+	})
+
+	in := make(chan checkpool.Item)
+	go func() {
+		defer close(in)
+		if len(paths) == 0 {
+			paths = []string{"-"}
+		}
+		for _, path := range paths {
+			if path == "-" {
+				feedLines(in, os.Stdin, "stdin")
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				in <- checkpool.Item{Source: path, Err: err}
+				continue
+			}
+			feedLines(in, f, path)
+			f.Close()
+		}
+	}()
+
+	opaque, nonOpaque, errored := 0, 0, 0
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for v := range pool.Run(in) {
+		switch {
+		case v.Err != nil:
+			errored++
+			fmt.Fprintf(w, "%s error %v\n", v.Source, v.Err)
+		case v.Result.Opaque:
+			opaque++
+			fmt.Fprintf(w, "%s opaque nodes=%d order=%q\n", v.Source, v.Result.Nodes, v.Result.Witness)
+		default:
+			nonOpaque++
+			fmt.Fprintf(w, "%s non-opaque nodes=%d\n", v.Source, v.Result.Nodes)
+		}
+	}
+	w.Flush()
+	fmt.Fprintf(os.Stderr, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors\n",
+		opaque+nonOpaque+errored, opaque, nonOpaque, errored)
+	if errored > 0 {
+		return 1
+	}
+	return 0
+}
+
+// feedLines parses each non-blank, non-comment line of r into a batch
+// item labeled "name:lineno". Parse failures become errored items so the
+// verdict stream stays aligned with the input. Lines are read without a
+// length cap (a bufio.Reader, not a Scanner), so one oversized line
+// cannot silently swallow the rest of its file.
+func feedLines(in chan<- checkpool.Item, r io.Reader, name string) {
+	br := bufio.NewReader(r)
+	for lineno := 1; ; lineno++ {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			line = strings.TrimSpace(line)
+			if line != "" && !strings.HasPrefix(line, "#") {
+				item := checkpool.Item{Source: fmt.Sprintf("%s:%d", name, lineno)}
+				item.History, item.Err = history.Parse(line)
+				in <- item
+			}
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			in <- checkpool.Item{Source: fmt.Sprintf("%s:%d", name, lineno), Err: err}
+			return
+		}
+	}
+}
+
 func checkOne(src, counterObjs string, graph, explain bool) error {
 	h, err := history.Parse(src)
 	if err != nil {
@@ -88,12 +213,7 @@ func checkOne(src, counterObjs string, graph, explain bool) error {
 	}
 	fmt.Println(h.Format())
 
-	objs := spec.Objects{}
-	for _, name := range strings.Split(counterObjs, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			objs[history.ObjID(name)] = spec.NewCounter(0)
-		}
-	}
+	objs := counterObjects(counterObjs)
 	for _, ob := range h.Objects() {
 		if _, ok := objs[ob]; !ok {
 			objs[ob] = spec.NewRegister(0)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"otm/internal/criteria"
@@ -61,5 +64,65 @@ func TestCheckOneRunsAllModes(t *testing.T) {
 	}
 	if err := checkOne(demos["counter"], "c", false, false); err != nil {
 		t.Errorf("counter demo with -counter c: %v", err)
+	}
+}
+
+// TestRunBatch exercises the -parallel streaming mode end to end: a file
+// of histories (including a comment, a blank line, a parse error and a
+// non-opaque history) yields one ordered verdict line each.
+func TestRunBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "histories.txt")
+	content := strings.Join([]string{
+		"# comment lines are skipped",
+		"w1(x,1) tryC1 C1 r2(x)->1 tryC2 C2",
+		"",
+		demos["fig1"], // non-opaque
+		"this is not a history",
+		demos["h4"],
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := runBatch(&out, 4, 0, "", []string{path}); code != 1 {
+		t.Errorf("exit code %d, want 1 (one line fails to parse)", code)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d verdict lines, want 4:\n%s", len(lines), out.String())
+	}
+	for i, want := range []string{
+		path + ":2 opaque ",
+		path + ":4 non-opaque ",
+		path + ":5 error ",
+		path + ":6 opaque ",
+	} {
+		if !strings.HasPrefix(lines[i], want) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], want)
+		}
+	}
+}
+
+// TestRunBatchBudget: -maxnodes starves the search, turning every history
+// into a budget error and a nonzero exit.
+func TestRunBatchBudget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.txt")
+	if err := os.WriteFile(path, []byte(demos["fig2"]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := runBatch(&out, 2, 1, "", []string{path}); code != 1 {
+		t.Errorf("exit code %d, want 1 under a 1-node budget", code)
+	}
+	if !strings.Contains(out.String(), "error") {
+		t.Errorf("expected a budget error line, got:\n%s", out.String())
+	}
+}
+
+func TestRunBatchMissingFile(t *testing.T) {
+	var out strings.Builder
+	if code := runBatch(&out, 2, 0, "", []string{"/nonexistent/histories.txt"}); code != 1 {
+		t.Errorf("exit code %d, want 1 for an unreadable file", code)
 	}
 }

@@ -1,0 +1,3 @@
+module otm
+
+go 1.24

@@ -1,0 +1,176 @@
+// Package checkpool verifies batches of transactional histories
+// concurrently. It wraps the Definition 1 checker of internal/core in a
+// worker pool with bounded memory: histories stream in, verdicts stream
+// out in input order, and at most a fixed window of them is in flight at
+// any moment regardless of the batch size. Each history gets its own
+// search-node budget, so one pathological input exhausts its budget and
+// reports ErrSearchLimit instead of stalling the whole batch.
+//
+// The pool is the engine behind `opacheck -parallel` and the
+// "check a million histories" workload: feed it a channel of items
+// (e.g. parsed from files or stdin) and range over the verdicts.
+package checkpool
+
+import (
+	"runtime"
+	"sync"
+
+	"otm/internal/core"
+	"otm/internal/history"
+)
+
+// Item is one unit of batch-checking work. Source carries an optional
+// label (input line, file position) that travels to the Verdict
+// untouched. A non-nil Err marks an item that already failed upstream —
+// typically a parse error — which the pool passes through as an errored
+// Verdict so the output stream stays aligned with the input stream.
+type Item struct {
+	Source  string
+	History history.History
+	Err     error
+}
+
+// Verdict is the outcome of checking one Item. Index is the item's
+// 0-based position in the input stream; verdicts are always emitted in
+// increasing Index order.
+type Verdict struct {
+	Index  int
+	Source string
+	Result core.Result
+	Err    error
+}
+
+// Opaque reports whether the item was checked successfully and found
+// opaque.
+func (v Verdict) Opaque() bool { return v.Err == nil && v.Result.Opaque }
+
+// Options tunes a Pool.
+type Options struct {
+	// Workers is the number of concurrent checkers (default GOMAXPROCS;
+	// values < 1 mean the default).
+	Workers int
+	// Window bounds the number of items admitted but not yet emitted
+	// (default 4×Workers). Together with streaming input this caps the
+	// pool's memory: a million-history batch holds at most Window
+	// histories and verdicts at a time.
+	Window int
+	// Config is the per-history checker configuration: object semantics
+	// and the search-node budget applied to each history independently.
+	Config core.Config
+	// Check overrides the checker (default core.Check with Config).
+	// Useful to batch-check other criteria, e.g. core.CheckStrong.
+	Check func(history.History, core.Config) (core.Result, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Window < 1 {
+		o.Window = 4 * o.Workers
+	}
+	if o.Check == nil {
+		o.Check = core.Check
+	}
+	return o
+}
+
+// Pool is a reusable batch-checking configuration. The zero value is
+// valid and uses the defaults of Options.
+type Pool struct {
+	opts Options
+}
+
+// New returns a Pool with the given options.
+func New(opts Options) *Pool { return &Pool{opts: opts.withDefaults()} }
+
+// Run checks every item arriving on in and returns a channel of verdicts
+// in input order. The verdict channel closes once all input has been
+// checked and emitted. Run returns immediately; the caller must drain
+// the returned channel (or consume it fully) for the pool to make
+// progress, since emission back-pressures admission.
+func (p *Pool) Run(in <-chan Item) <-chan Verdict {
+	opts := p.opts.withDefaults()
+
+	type job struct {
+		idx  int
+		item Item
+	}
+	work := make(chan job)
+	results := make(chan Verdict, opts.Window)
+	out := make(chan Verdict)
+	// tickets bounds the admitted-but-not-emitted window, and therefore
+	// the size of the reorder buffer below.
+	tickets := make(chan struct{}, opts.Window)
+
+	// Dispatcher: admit items as window slots free up.
+	go func() {
+		idx := 0
+		for item := range in {
+			tickets <- struct{}{}
+			work <- job{idx: idx, item: item}
+			idx++
+		}
+		close(work)
+	}()
+
+	// Workers: check admitted items.
+	var wg sync.WaitGroup
+	wg.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				v := Verdict{Index: j.idx, Source: j.item.Source, Err: j.item.Err}
+				if v.Err == nil {
+					v.Result, v.Err = opts.Check(j.item.History, opts.Config)
+				}
+				results <- v
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorderer: restore input order. The stash never exceeds the window
+	// because each stashed verdict holds a ticket.
+	go func() {
+		defer close(out)
+		stash := make(map[int]Verdict, opts.Window)
+		next := 0
+		for v := range results {
+			stash[v.Index] = v
+			for {
+				pending, ok := stash[next]
+				if !ok {
+					break
+				}
+				delete(stash, next)
+				out <- pending
+				<-tickets
+				next++
+			}
+		}
+	}()
+
+	return out
+}
+
+// CheckAll runs the pool over a fixed slice and collects every verdict.
+// The result is indexed like hs.
+func (p *Pool) CheckAll(hs []history.History) []Verdict {
+	in := make(chan Item)
+	go func() {
+		for _, h := range hs {
+			in <- Item{History: h}
+		}
+		close(in)
+	}()
+	verdicts := make([]Verdict, 0, len(hs))
+	for v := range p.Run(in) {
+		verdicts = append(verdicts, v)
+	}
+	return verdicts
+}

@@ -1,0 +1,150 @@
+package checkpool
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/gen"
+	"otm/internal/history"
+)
+
+func corpus(n int) []history.History {
+	return gen.Corpus(gen.Config{Txs: 5, Objs: 3, MaxOps: 3, PStaleRead: 0.3}, n, 0)
+}
+
+// TestMatchesSequentialChecker is the pool half of the differential
+// suite: the parallel pool must return exactly the verdicts the
+// sequential checker returns, in input order.
+func TestMatchesSequentialChecker(t *testing.T) {
+	n := 300
+	if !testing.Short() {
+		n = 1000
+	}
+	hs := corpus(n)
+	want := make([]bool, n)
+	for i, h := range hs {
+		res, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("history %d: %v", i, err)
+		}
+		want[i] = res.Opaque
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		p := New(Options{Workers: workers})
+		verdicts := p.CheckAll(hs)
+		if len(verdicts) != n {
+			t.Fatalf("workers=%d: %d verdicts, want %d", workers, len(verdicts), n)
+		}
+		for i, v := range verdicts {
+			if v.Index != i {
+				t.Fatalf("workers=%d: verdict %d carries index %d", workers, i, v.Index)
+			}
+			if v.Err != nil {
+				t.Fatalf("workers=%d: history %d: %v", workers, i, v.Err)
+			}
+			if v.Result.Opaque != want[i] {
+				t.Errorf("workers=%d: history %d: pool says opaque=%v, sequential says %v",
+					workers, i, v.Result.Opaque, want[i])
+			}
+		}
+	}
+}
+
+func TestStreamPreservesOrderAndSources(t *testing.T) {
+	hs := corpus(64)
+	p := New(Options{Workers: 4, Window: 2})
+	in := make(chan Item)
+	go func() {
+		for i, h := range hs {
+			in <- Item{Source: fmt.Sprintf("line%d", i), History: h}
+		}
+		close(in)
+	}()
+	i := 0
+	for v := range p.Run(in) {
+		if v.Index != i || v.Source != fmt.Sprintf("line%d", i) {
+			t.Fatalf("verdict %d: index=%d source=%q", i, v.Index, v.Source)
+		}
+		i++
+	}
+	if i != len(hs) {
+		t.Fatalf("got %d verdicts, want %d", i, len(hs))
+	}
+}
+
+func TestUpstreamErrorsPassThrough(t *testing.T) {
+	parseErr := errors.New("parse: bad token")
+	in := make(chan Item, 3)
+	in <- Item{Source: "a", History: history.MustParse("w1(x,1) tryC1 C1")}
+	in <- Item{Source: "b", Err: parseErr}
+	in <- Item{Source: "c", History: history.MustParse("r1(x)->0 tryC1 C1")}
+	close(in)
+
+	var got []Verdict
+	for v := range New(Options{Workers: 2}).Run(in) {
+		got = append(got, v)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d verdicts, want 3", len(got))
+	}
+	if !got[0].Opaque() || !got[2].Opaque() {
+		t.Error("valid items must check opaque")
+	}
+	if !errors.Is(got[1].Err, parseErr) {
+		t.Errorf("item b: err=%v, want the upstream parse error", got[1].Err)
+	}
+	if got[1].Opaque() {
+		t.Error("errored item must not report opaque")
+	}
+}
+
+// TestPerHistoryBudget: a starved node budget fails each history
+// independently with ErrSearchLimit; the failure of one item does not
+// taint its neighbours since every history gets a fresh budget.
+func TestPerHistoryBudget(t *testing.T) {
+	hs := corpus(20)
+	p := New(Options{Workers: 4, Config: core.Config{MaxNodes: 1}})
+	verdicts := p.CheckAll(hs)
+	for i, v := range verdicts {
+		if !errors.Is(v.Err, core.ErrSearchLimit) {
+			t.Fatalf("history %d: err=%v, want ErrSearchLimit under a 1-node budget", i, v.Err)
+		}
+	}
+
+	// The same corpus under the default budget is fully checkable.
+	for i, v := range New(Options{Workers: 4}).CheckAll(hs) {
+		if v.Err != nil {
+			t.Fatalf("history %d: %v", i, v.Err)
+		}
+	}
+}
+
+func TestCustomCheckFunction(t *testing.T) {
+	hs := corpus(16)
+	p := New(Options{
+		Workers: 2,
+		Check: func(h history.History, cfg core.Config) (core.Result, error) {
+			return core.CheckStrong(h, cfg)
+		},
+	})
+	for i, v := range p.CheckAll(hs) {
+		want, err := core.CheckStrong(hs[i], core.Config{})
+		if err != nil {
+			t.Fatalf("history %d: %v", i, err)
+		}
+		if v.Err != nil || v.Result.Opaque != want.Opaque {
+			t.Fatalf("history %d: pool strong=%v err=%v, want %v", i, v.Result.Opaque, v.Err, want.Opaque)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	in := make(chan Item)
+	close(in)
+	if _, open := <-New(Options{}).Run(in); open {
+		t.Error("verdict channel must close on empty input")
+	}
+}

@@ -93,22 +93,6 @@ func AllLegal(s history.History, objs spec.Objects) (history.TxID, bool) {
 	return 0, true
 }
 
-// stateKey returns a canonical fingerprint of a set of object states,
-// used for memoizing the opacity search. ids must be the sorted object
-// identifiers of the history being checked.
-func stateKey(states spec.Objects, ids []history.ObjID) string {
-	out := ""
-	for _, id := range ids {
-		st, ok := states[id]
-		if !ok {
-			out += string(id) + "=?;"
-			continue
-		}
-		out += string(id) + "=" + st.Key() + ";"
-	}
-	return out
-}
-
 // sortedObjects returns the object ids of h in sorted order.
 func sortedObjects(h history.History) []history.ObjID {
 	ids := h.Objects()

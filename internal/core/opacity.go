@@ -44,6 +44,10 @@ type Config struct {
 	// MaxNodes bounds the number of search nodes; 0 means the default
 	// (4,000,000). Exceeding the bound yields ErrSearchLimit.
 	MaxNodes int
+	// DisableMemo runs the un-memoized reference search instead of the
+	// memoized engine. Differential-testing hook; see
+	// SerializeOptions.DisableMemo.
+	DisableMemo bool
 }
 
 const defaultMaxNodes = 4_000_000
@@ -93,13 +97,14 @@ func Check(h history.History, cfg Config) (Result, error) {
 
 	h.EachCompletion(func(hc history.History) bool {
 		order, ok, err := FindSerialization(SerializeOptions{
-			Source:    hc,
-			Txs:       txs,
-			Committed: func(tx history.TxID) bool { return hc.Committed(tx) },
-			Preds:     preds,
-			Objects:   cfg.Objects,
-			MaxNodes:  maxNodes,
-			Nodes:     &res.Nodes,
+			Source:      hc,
+			Txs:         txs,
+			Committed:   func(tx history.TxID) bool { return hc.Committed(tx) },
+			Preds:       preds,
+			Objects:     cfg.Objects,
+			MaxNodes:    maxNodes,
+			Nodes:       &res.Nodes,
+			DisableMemo: cfg.DisableMemo,
 		})
 		if err != nil {
 			searchErr = err

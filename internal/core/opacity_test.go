@@ -401,12 +401,24 @@ func TestWitnessString(t *testing.T) {
 	}
 }
 
-func TestTooManyTransactions(t *testing.T) {
+func TestManyTransactions(t *testing.T) {
+	// The multi-word bitset removed the old 63-transaction cap: a history
+	// of 200 sequential committed writers is checked exactly.
 	var h history.History
-	for tx := history.TxID(1); tx <= 64; tx++ {
-		h = append(h, history.TryC(tx), history.Commit(tx))
+	for tx := history.TxID(1); tx <= 200; tx++ {
+		h = append(h,
+			history.Inv(tx, "x", "write", int(tx)),
+			history.Ret(tx, "x", "write", history.OK),
+			history.TryC(tx), history.Commit(tx))
 	}
-	if _, err := Opaque(h); err == nil {
-		t.Error("Check must refuse histories with more than 63 transactions")
+	res, err := Opaque(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Error("sequential committed writers must be opaque")
+	}
+	if got := len(res.Witness.Order); got != 200 {
+		t.Errorf("witness serializes %d transactions, want 200", got)
 	}
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"otm/internal/history"
 	"otm/internal/spec"
 )
@@ -32,6 +30,96 @@ type SerializeOptions struct {
 	// node count across calls when non-nil.
 	MaxNodes int
 	Nodes    *int
+	// DisableMemo turns off the (placed-set, object-state) verdict cache
+	// and runs the plain backtracking search. It exists as the reference
+	// implementation for differential testing of the memoized engine and
+	// should not be set on production paths.
+	DisableMemo bool
+}
+
+// searcher is the memoized serialization engine. One instance serves one
+// FindSerialization call: the memo table caches failure verdicts keyed by
+// (placed-transaction bitset, object-state fingerprint), so isomorphic
+// search prefixes — different placement orders reaching the same set of
+// placed transactions and the same object states — are explored once.
+type searcher struct {
+	n         int
+	txs       []history.TxID
+	execs     [][]history.OpExec
+	committed []bool
+	preds     []bitset
+	objIDs    []history.ObjID
+	maxNodes  int
+	nodes     *int
+	memo      map[string]struct{} // failed states; nil = memoization off
+	keyBuf    []byte              // reused scratch for memo keys
+	order     []history.TxID
+}
+
+// stateKey renders the memo key for the current search state into the
+// reused scratch buffer: the raw words of the placed bitset followed by
+// the canonical fingerprint of every object state.
+func (s *searcher) stateKey(placed bitset, states spec.Objects) []byte {
+	buf := placed.appendKey(s.keyBuf[:0])
+	for _, id := range s.objIDs {
+		buf = append(buf, id...)
+		buf = append(buf, '=')
+		if st, ok := states[id]; ok {
+			buf = append(buf, st.Key()...)
+		} else {
+			buf = append(buf, '?')
+		}
+		buf = append(buf, ';')
+	}
+	s.keyBuf = buf
+	return buf
+}
+
+// search tries to extend the partial serialization. placed is mutated in
+// place (set before recursing, cleared on backtrack); count is the number
+// of placed transactions. On success the winning bits stay set and
+// s.order holds the full serialization.
+func (s *searcher) search(placed bitset, count int, states spec.Objects) bool {
+	if *s.nodes >= s.maxNodes {
+		return false
+	}
+	*s.nodes++
+	if count == s.n {
+		return true
+	}
+	var key []byte
+	if s.memo != nil {
+		key = s.stateKey(placed, states)
+		if _, failed := s.memo[string(key)]; failed {
+			return false
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		if placed.has(i) || !placed.covers(s.preds[i]) {
+			continue
+		}
+		next, legal := replayTx(states, s.execs[i])
+		if !legal {
+			continue
+		}
+		s.order = append(s.order, s.txs[i])
+		after := states
+		if s.committed[i] {
+			after = next
+		}
+		placed.set(i)
+		if s.search(placed, count+1, after) {
+			return true
+		}
+		placed.clear(i)
+		s.order = s.order[:len(s.order)-1]
+	}
+	if s.memo != nil {
+		// key was rendered into the shared scratch buffer before the
+		// recursive calls overwrote it; re-render for the insert.
+		s.memo[string(s.stateKey(placed, states))] = struct{}{}
+	}
+	return false
 }
 
 // FindSerialization searches for an order of o.Txs such that every
@@ -41,9 +129,6 @@ type SerializeOptions struct {
 // ErrSearchLimit is returned when the node budget is exhausted first.
 func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
 	n := len(o.Txs)
-	if n > 63 {
-		return nil, false, fmt.Errorf("core: %d transactions exceed the supported maximum of 63", n)
-	}
 	if n == 0 {
 		return nil, true, nil
 	}
@@ -58,21 +143,35 @@ func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
 	}
 
 	idx := txIndex(o.Txs)
-	preds := make([]uint64, n)
+	preds := make([]bitset, n)
+	for i := range preds {
+		preds[i] = newBitset(n)
+	}
 	for _, p := range o.Preds {
 		i, oki := idx[p[0]]
 		j, okj := idx[p[1]]
 		if oki && okj {
-			preds[j] |= 1 << uint(i)
+			preds[j].set(i)
 		}
 	}
 
-	objIDs := sortedObjects(o.Source)
-	execs := make([][]history.OpExec, n)
-	committed := make([]bool, n)
+	s := &searcher{
+		n:         n,
+		txs:       o.Txs,
+		execs:     make([][]history.OpExec, n),
+		committed: make([]bool, n),
+		preds:     preds,
+		objIDs:    sortedObjects(o.Source),
+		maxNodes:  maxNodes,
+		nodes:     nodes,
+		order:     make([]history.TxID, 0, n),
+	}
 	for i, tx := range o.Txs {
-		execs[i] = o.Source.OpExecs(tx)
-		committed[i] = o.Committed(tx)
+		s.execs[i] = o.Source.OpExecs(tx)
+		s.committed[i] = o.Committed(tx)
+	}
+	if !o.DisableMemo {
+		s.memo = make(map[string]struct{})
 	}
 
 	baseObjs := o.Objects
@@ -80,48 +179,8 @@ func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
 		baseObjs = spec.Objects{}
 	}
 
-	visitedFail := make(map[string]bool)
-	order := make([]history.TxID, 0, n)
-	full := (uint64(1) << uint(n)) - 1
-
-	var search func(placed uint64, states spec.Objects) bool
-	search = func(placed uint64, states spec.Objects) bool {
-		if *nodes >= maxNodes {
-			return false
-		}
-		*nodes++
-		if placed == full {
-			return true
-		}
-		key := fmt.Sprintf("%x|%s", placed, stateKey(states, objIDs))
-		if visitedFail[key] {
-			return false
-		}
-		for i := 0; i < n; i++ {
-			bit := uint64(1) << uint(i)
-			if placed&bit != 0 || preds[i]&^placed != 0 {
-				continue
-			}
-			next, legal := replayTx(states, execs[i])
-			if !legal {
-				continue
-			}
-			order = append(order, o.Txs[i])
-			after := states
-			if committed[i] {
-				after = next
-			}
-			if search(placed|bit, after) {
-				return true
-			}
-			order = order[:len(order)-1]
-		}
-		visitedFail[key] = true
-		return false
-	}
-
-	if search(0, baseObjs) {
-		return append([]history.TxID(nil), order...), true, nil
+	if s.search(newBitset(n), 0, baseObjs) {
+		return append([]history.TxID(nil), s.order...), true, nil
 	}
 	if *nodes >= maxNodes {
 		return nil, false, ErrSearchLimit

@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/gen"
+)
+
+// TestMemoizedMatchesReference is the engine half of the differential
+// suite: on a ≥1k random corpus the memoized search must return exactly
+// the verdicts of the retained un-memoized reference search, while never
+// exploring more nodes.
+func TestMemoizedMatchesReference(t *testing.T) {
+	n := 400
+	if !testing.Short() {
+		n = 1200
+	}
+	hs := gen.Corpus(gen.Config{Txs: 5, Objs: 3, MaxOps: 3, PStaleRead: 0.3}, n, 0)
+	opaque, nonOpaque := 0, 0
+	for i, h := range hs {
+		memo, errM := core.Check(h, core.Config{})
+		ref, errR := core.Check(h, core.Config{DisableMemo: true})
+		if errM != nil || errR != nil {
+			t.Fatalf("history %d: memo err=%v, reference err=%v", i, errM, errR)
+		}
+		if memo.Opaque != ref.Opaque {
+			t.Fatalf("history %d: memoized says opaque=%v, reference says %v:\n%s",
+				i, memo.Opaque, ref.Opaque, h.Format())
+		}
+		if memo.Nodes > ref.Nodes {
+			t.Errorf("history %d: memoized explored %d nodes, reference only %d",
+				i, memo.Nodes, ref.Nodes)
+		}
+		if memo.Opaque {
+			opaque++
+		} else {
+			nonOpaque++
+		}
+	}
+	if min := n / 40; opaque < min || nonOpaque < min {
+		t.Errorf("unbalanced corpus: %d opaque, %d non-opaque, want ≥%d each", opaque, nonOpaque, min)
+	}
+}
+
+// TestMemoizedMatchesReferenceUnderBudget stresses agreement when the
+// node budget bites. Memoization only prunes work, so whenever the
+// memoized engine exhausts a budget the reference must exhaust it too,
+// and whenever the reference finishes the memoized engine must finish
+// with the same verdict. (The converse is allowed to differ: the memo
+// can finish inside a budget that starves the reference.)
+func TestMemoizedMatchesReferenceUnderBudget(t *testing.T) {
+	hs := gen.Corpus(gen.Config{Txs: 8, Objs: 2, MaxOps: 4, PStaleRead: 0.4}, 300, 10_000)
+	exhausted := 0
+	for i, h := range hs {
+		cfg := core.Config{MaxNodes: 300}
+		memo, errM := core.Check(h, cfg)
+		cfg.DisableMemo = true
+		ref, errR := core.Check(h, cfg)
+
+		switch {
+		case errM != nil:
+			if !errors.Is(errM, core.ErrSearchLimit) {
+				t.Fatalf("history %d: memo: %v", i, errM)
+			}
+			if !errors.Is(errR, core.ErrSearchLimit) {
+				t.Fatalf("history %d: memoized engine exhausted %d nodes but the reference finished (err=%v)",
+					i, cfg.MaxNodes, errR)
+			}
+			exhausted++
+		case errR != nil:
+			// Reference starved where the memo finished: acceptable, the
+			// memo is strictly cheaper.
+			if !errors.Is(errR, core.ErrSearchLimit) {
+				t.Fatalf("history %d: reference: %v", i, errR)
+			}
+			exhausted++
+		default:
+			if memo.Opaque != ref.Opaque {
+				t.Fatalf("history %d: memoized says opaque=%v, reference says %v:\n%s",
+					i, memo.Opaque, ref.Opaque, h.Format())
+			}
+		}
+	}
+	if exhausted == 0 {
+		t.Error("corpus produced no budget-exhausted cases; tighten MaxNodes")
+	}
+}

@@ -67,13 +67,14 @@ func CheckStrong(h history.History, cfg Config) (Result, error) {
 	var searchErr error
 	h.EachCompletion(func(hc history.History) bool {
 		order, ok, err := FindSerialization(SerializeOptions{
-			Source:    hc,
-			Txs:       txs,
-			Committed: func(tx history.TxID) bool { return hc.Committed(tx) },
-			Preds:     preds,
-			Objects:   cfg.Objects,
-			MaxNodes:  maxNodes,
-			Nodes:     &res.Nodes,
+			Source:      hc,
+			Txs:         txs,
+			Committed:   func(tx history.TxID) bool { return hc.Committed(tx) },
+			Preds:       preds,
+			Objects:     cfg.Objects,
+			MaxNodes:    maxNodes,
+			Nodes:       &res.Nodes,
+			DisableMemo: cfg.DisableMemo,
 		})
 		if err != nil {
 			searchErr = err

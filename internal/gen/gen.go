@@ -185,6 +185,18 @@ func History(cfg Config, seed int64) history.History {
 	return h
 }
 
+// Corpus generates n histories from cfg with consecutive seeds starting
+// at base. It is the standard input of the differential suite and the
+// batch-checking benchmarks: the same (cfg, n, base) triple always
+// yields the same corpus.
+func Corpus(cfg Config, n int, base int64) []history.History {
+	hs := make([]history.History, n)
+	for i := range hs {
+		hs[i] = History(cfg, base+int64(i))
+	}
+	return hs
+}
+
 // Op is one step of a generated STM workload.
 type Op struct {
 	// Read is true for a read, false for a write.

@@ -21,16 +21,21 @@ import (
 //	tryC<n> C<n> tryA<n> A<n>   control events
 //
 // Values that look like integers parse as int; "ok" parses as the OK
-// constant; anything else parses as a string. Comment lines starting with
-// '#' and blank lines are ignored when parsing multi-line input.
+// constant; anything else parses as a string. Blank lines are ignored,
+// and a token starting with '#' comments out the rest of its line — so
+// both full-line comments and the trailing "# seed=N" annotations of
+// cmd/histgen parse cleanly.
 func Parse(s string) (History, error) {
 	var h History
 	for _, line := range strings.Split(s, "\n") {
 		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
 			continue
 		}
 		for _, tok := range strings.Fields(line) {
+			if strings.HasPrefix(tok, "#") {
+				break
+			}
 			evs, err := parseToken(tok)
 			if err != nil {
 				return nil, fmt.Errorf("history: parsing %q: %w", tok, err)

@@ -152,3 +152,25 @@ func TestMustParsePanics(t *testing.T) {
 	}()
 	MustParse("not a history !!!")
 }
+
+func TestParseTrailingComment(t *testing.T) {
+	// cmd/histgen annotates each line with "# seed=N"; the annotation and
+	// full-line comments must both parse away.
+	h, err := Parse("w1(x,1) tryC1 C1   # seed=7\n# a full-line comment\nr2(x)->1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := History{
+		Inv(1, "x", "write", 1), Ret(1, "x", "write", OK),
+		TryC(1), Commit(1),
+		Inv(2, "x", "read", nil), Ret(2, "x", "read", 1),
+	}
+	if len(h) != len(want) {
+		t.Fatalf("parsed %d events, want %d: %v", len(h), len(want), h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, h[i], want[i])
+		}
+	}
+}

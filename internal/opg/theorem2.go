@@ -3,6 +3,7 @@ package opg
 import (
 	"fmt"
 
+	"otm/internal/core"
 	"otm/internal/history"
 )
 
@@ -25,6 +26,18 @@ type Theorem2Result struct {
 // maxTheorem2Txs bounds the permutation search (n! growth).
 const maxTheorem2Txs = 9
 
+// Theorem2Config tunes the Theorem 2 search. It mirrors the budget
+// plumbing of core.Config: MaxNodes bounds the number of candidate
+// opacity graphs built (0 = the same 4,000,000 default as the
+// definitional checker), exhaustion reports core.ErrSearchLimit, and a
+// non-nil Nodes accumulates the count across calls — so batch drivers
+// can meter the graph characterization exactly like the Definition 1
+// search.
+type Theorem2Config struct {
+	MaxNodes int
+	Nodes    *int
+}
+
 // CheckTheorem2 decides opacity of h by Theorem 2: h is opaque iff h is
 // consistent and there exist a total order ≪ on the transactions of h
 // and a subset V of its commit-pending transactions such that
@@ -40,8 +53,23 @@ const maxTheorem2Txs = 9
 // production of explicit graph witnesses/counterexamples, not bulk
 // checking.
 func CheckTheorem2(h history.History) (Theorem2Result, error) {
+	return CheckTheorem2Budget(h, Theorem2Config{})
+}
+
+// CheckTheorem2Budget is CheckTheorem2 under an explicit search budget;
+// see Theorem2Config.
+func CheckTheorem2Budget(h history.History, cfg Theorem2Config) (Theorem2Result, error) {
 	if err := h.WellFormed(); err != nil {
 		return Theorem2Result{}, err
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 4_000_000 // matches core's defaultMaxNodes
+	}
+	var localNodes int
+	nodes := cfg.Nodes
+	if nodes == nil {
+		nodes = &localNodes
 	}
 	if !RegisterOnly(h) {
 		return Theorem2Result{}, fmt.Errorf("opg: the graph characterization applies to register histories only")
@@ -86,6 +114,10 @@ func CheckTheorem2(h history.History) (Theorem2Result, error) {
 		// edges are fixed given V, so an ill-formed graph (an Lrf edge
 		// out of an Lloc vertex) or a cycle among Lrt/Lrf edges alone
 		// rules out every order ≪ for this V.
+		if *nodes >= maxNodes {
+			return res, fmt.Errorf("theorem 2 search: %w", core.ErrSearchLimit)
+		}
+		*nodes++
 		base, err := Build(h, txs, V)
 		if err != nil {
 			return res, err
@@ -107,7 +139,13 @@ func CheckTheorem2(h history.History) (Theorem2Result, error) {
 		}
 
 		found := false
+		exhausted := false
 		permute(txs, func(order []history.TxID) bool {
+			if *nodes >= maxNodes {
+				exhausted = true
+				return false
+			}
+			*nodes++
 			g, err := Build(h, order, V)
 			if err != nil {
 				return true // impossible: inputs validated above
@@ -124,6 +162,9 @@ func CheckTheorem2(h history.History) (Theorem2Result, error) {
 		})
 		if found {
 			return res, nil
+		}
+		if exhausted {
+			return res, fmt.Errorf("theorem 2 search: %w", core.ErrSearchLimit)
 		}
 	}
 	return res, nil

@@ -1,0 +1,43 @@
+package opg
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/history"
+)
+
+// TestTheorem2Budget: the graph search honours the same budget plumbing
+// as the definitional checker — exhaustion reports core.ErrSearchLimit
+// and a shared Nodes counter accumulates across calls.
+func TestTheorem2Budget(t *testing.T) {
+	h := WithInit(history.MustParse(
+		"w1(x,1) tryC1 C1 r2(x)->1 w3(x,2) w3(y,2) tryC3 C3 r2(y)->2 tryC2 A2"), 0)
+
+	var nodes int
+	if _, err := CheckTheorem2Budget(h, Theorem2Config{MaxNodes: 1, Nodes: &nodes}); !errors.Is(err, core.ErrSearchLimit) {
+		t.Fatalf("err=%v, want core.ErrSearchLimit under a 1-node budget", err)
+	}
+	if nodes != 1 {
+		t.Errorf("nodes=%d, want exactly the budget (1)", nodes)
+	}
+
+	// A generous budget reproduces the unbudgeted verdict and counts the
+	// candidate graphs actually built.
+	nodes = 0
+	res, err := CheckTheorem2Budget(h, Theorem2Config{Nodes: &nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CheckTheorem2(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque != want.Opaque {
+		t.Errorf("budgeted verdict %v != unbudgeted %v", res.Opaque, want.Opaque)
+	}
+	if nodes == 0 {
+		t.Error("Nodes counter did not accumulate")
+	}
+}
