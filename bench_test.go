@@ -221,45 +221,73 @@ func BenchmarkCheckOpacity(b *testing.B) {
 	})
 }
 
-// BenchmarkCheckOpacityBatch times bulk opacity checking of a
-// 1000-history corpus: the sequential baseline (one core.Check after
-// another), the same work through internal/checkpool at several widths
-// (the `opacheck -parallel` path), and the un-memoized reference engine
-// to expose what the memo table buys on the single-threaded hot path.
-// On a machine with ≥4 cores, parallel4 should beat sequential by ≥3×.
+// BenchmarkCheckOpacityBatch times bulk opacity checking of 1000-history
+// corpora: the sequential baseline (one core.Check after another), the
+// same work through internal/checkpool at several widths (the
+// `opacheck -parallel` path), and the per-completion reference engine
+// (core.Config.DisableMemo) to expose what the unified completion-aware
+// search buys. Each run reports nodes/corpus — the search nodes one pass
+// over the corpus explores — so the reduction from lazy commit/abort
+// branching, the shared memo and the partial-order reduction is visible
+// directly in the bench output. The "commitpending" corpus (every third
+// transaction left commit-pending) is the regime the unified engine
+// targets: the reference pays for 2^k completions there, and sequential
+// must report strictly fewer nodes than reference at no time cost. On a
+// machine with ≥4 cores, parallel4 should beat sequential by ≥3×.
 func BenchmarkCheckOpacityBatch(b *testing.B) {
-	hs := gen.Corpus(gen.Config{Txs: 6, Objs: 3, MaxOps: 4, PStaleRead: 0.3}, 1000, 1)
-
-	b.Run("sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, h := range hs {
-				if _, err := core.Opaque(h); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-	b.Run("reference", func(b *testing.B) {
-		cfg := core.Config{DisableMemo: true}
-		for i := 0; i < b.N; i++ {
-			for _, h := range hs {
-				if _, err := core.Check(h, cfg); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-	for _, workers := range []int{2, 4, 8} {
-		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
-			p := checkpool.New(checkpool.Options{Workers: workers})
+	for _, corpus := range []struct {
+		name string
+		hs   []history.History
+	}{
+		{"mixed", gen.Corpus(gen.Config{Txs: 6, Objs: 3, MaxOps: 4, PStaleRead: 0.3}, 1000, 1)},
+		{"commitpending", gen.Corpus(gen.Config{Txs: 6, Objs: 3, MaxOps: 4, PStaleRead: 0.3, PLeaveLive: 0.8}, 1000, 1)},
+	} {
+		hs := corpus.hs
+		b.Run(corpus.name+"/sequential", func(b *testing.B) {
+			nodes := 0
 			for i := 0; i < b.N; i++ {
-				for _, v := range p.CheckAll(hs) {
-					if v.Err != nil {
-						b.Fatal(v.Err)
+				nodes = 0
+				for _, h := range hs {
+					res, err := core.Opaque(h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes += res.Nodes
+				}
+			}
+			b.ReportMetric(float64(nodes), "nodes/corpus")
+		})
+		b.Run(corpus.name+"/reference", func(b *testing.B) {
+			cfg := core.Config{DisableMemo: true}
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				nodes = 0
+				for _, h := range hs {
+					res, err := core.Check(h, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes += res.Nodes
+				}
+			}
+			b.ReportMetric(float64(nodes), "nodes/corpus")
+		})
+		for _, workers := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/parallel%d", corpus.name, workers), func(b *testing.B) {
+				p := checkpool.New(checkpool.Options{Workers: workers})
+				nodes := 0
+				for i := 0; i < b.N; i++ {
+					nodes = 0
+					for _, v := range p.CheckAll(hs) {
+						if v.Err != nil {
+							b.Fatal(v.Err)
+						}
+						nodes += v.Result.Nodes
 					}
 				}
-			}
-		})
+				b.ReportMetric(float64(nodes), "nodes/corpus")
+			})
+		}
 	}
 }
 

@@ -24,18 +24,34 @@
 //	histories.txt:4 non-opaque nodes=97
 //	histories.txt:5 error parse: bad token "zzz"
 //
-// A summary goes to stderr. The exit status is 1 if any line errored
-// (parse failure, malformed history, search-budget exhaustion), else 0;
-// non-opaque is a verdict, not an error.
+// nodes= is the number of search nodes the completion-aware engine
+// explored for that history; the per-history -maxnodes budget meters one
+// unified search covering every completion. -reference switches the
+// batch to the retained per-completion engine (an un-memoized search per
+// completion, no partial-order reduction), so the node-count reduction
+// of the unified engine is directly measurable on any corpus:
+//
+//	opacheck -parallel 8 corpus.txt            # nodes= from the unified engine
+//	opacheck -parallel 8 -reference corpus.txt # nodes= from the reference
+//
+// A summary — including the total node count — goes to stderr. The exit
+// status is 1 if any line errored (parse failure, malformed history,
+// search-budget exhaustion), else 0; non-opaque is a verdict, not an
+// error. SIGINT/SIGTERM cancel the batch gracefully: already-admitted
+// histories still get their verdict lines, then the summary reports the
+// interruption and the exit status is 1.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"otm/internal/checkpool"
 	"otm/internal/core"
@@ -61,6 +77,7 @@ func main() {
 	demo := flag.String("demo", "", "check a built-in paper example: fig1|fig2|h3|h4|counter|writers")
 	parallel := flag.Int("parallel", 0, "batch mode: check histories from files/stdin with N concurrent workers")
 	maxNodes := flag.Int("maxnodes", 0, "batch mode: per-history search-node budget (0 = checker default)")
+	reference := flag.Bool("reference", false, "batch mode: use the per-completion reference engine instead of the unified search (for node-count comparisons)")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -68,7 +85,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "opacheck: -parallel is incompatible with -graph, -explain and -demo")
 			os.Exit(2)
 		}
-		os.Exit(runBatch(os.Stdout, *parallel, *maxNodes, *counterObjs, flag.Args()))
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		code := runBatch(ctx, os.Stdout, *parallel, *maxNodes, *reference, *counterObjs, flag.Args())
+		stop()
+		os.Exit(code)
 	}
 
 	var inputs []string
@@ -119,14 +139,16 @@ func counterObjects(counterObjs string) spec.Objects {
 
 // runBatch is the -parallel mode: stream histories from the given files
 // (or stdin), check them on a checkpool of the given width, and print one
-// verdict line per input line, in input order. It returns the process
-// exit code.
-func runBatch(out io.Writer, workers, maxNodes int, counterObjs string, paths []string) int {
+// verdict line per input line, in input order. Cancelling ctx (SIGINT /
+// SIGTERM) stops admission; verdicts for already-admitted histories are
+// still printed. It returns the process exit code.
+func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, reference bool, counterObjs string, paths []string) int {
 	pool := checkpool.New(checkpool.Options{
 		Workers: workers,
 		Config: core.Config{
-			Objects:  counterObjects(counterObjs),
-			MaxNodes: maxNodes,
+			Objects:     counterObjects(counterObjs),
+			MaxNodes:    maxNodes,
+			DisableMemo: reference,
 		},
 	})
 
@@ -152,9 +174,11 @@ func runBatch(out io.Writer, workers, maxNodes int, counterObjs string, paths []
 	}()
 
 	opaque, nonOpaque, errored := 0, 0, 0
+	totalNodes := 0
 	w := bufio.NewWriter(out)
 	defer w.Flush()
-	for v := range pool.Run(in) {
+	for v := range pool.RunContext(ctx, in) {
+		totalNodes += v.Result.Nodes
 		switch {
 		case v.Err != nil:
 			errored++
@@ -168,8 +192,12 @@ func runBatch(out io.Writer, workers, maxNodes int, counterObjs string, paths []
 		}
 	}
 	w.Flush()
-	fmt.Fprintf(os.Stderr, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors\n",
-		opaque+nonOpaque+errored, opaque, nonOpaque, errored)
+	fmt.Fprintf(os.Stderr, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors; %d search nodes\n",
+		opaque+nonOpaque+errored, opaque, nonOpaque, errored, totalNodes)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "opacheck: interrupted; remaining input skipped")
+		return 1
+	}
 	if errored > 0 {
 		return 1
 	}

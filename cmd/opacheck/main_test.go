@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,23 +85,43 @@ func TestRunBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var out strings.Builder
-	if code := runBatch(&out, 4, 0, "", []string{path}); code != 1 {
-		t.Errorf("exit code %d, want 1 (one line fails to parse)", code)
-	}
-	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("%d verdict lines, want 4:\n%s", len(lines), out.String())
-	}
-	for i, want := range []string{
-		path + ":2 opaque ",
-		path + ":4 non-opaque ",
-		path + ":5 error ",
-		path + ":6 opaque ",
-	} {
-		if !strings.HasPrefix(lines[i], want) {
-			t.Errorf("line %d = %q, want prefix %q", i, lines[i], want)
+	for _, reference := range []bool{false, true} {
+		var out strings.Builder
+		if code := runBatch(context.Background(), &out, 4, 0, reference, "", []string{path}); code != 1 {
+			t.Errorf("reference=%v: exit code %d, want 1 (one line fails to parse)", reference, code)
 		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		if len(lines) != 4 {
+			t.Fatalf("reference=%v: %d verdict lines, want 4:\n%s", reference, len(lines), out.String())
+		}
+		for i, want := range []string{
+			path + ":2 opaque ",
+			path + ":4 non-opaque ",
+			path + ":5 error ",
+			path + ":6 opaque ",
+		} {
+			if !strings.HasPrefix(lines[i], want) {
+				t.Errorf("reference=%v: line %d = %q, want prefix %q", reference, i, lines[i], want)
+			}
+		}
+	}
+}
+
+// TestRunBatchCancelled: a pre-cancelled context admits nothing, yields
+// no verdict lines and exits nonzero.
+func TestRunBatchCancelled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.txt")
+	if err := os.WriteFile(path, []byte(demos["fig2"]+"\n"+demos["h4"]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if code := runBatch(ctx, &out, 2, 0, false, "", []string{path}); code != 1 {
+		t.Errorf("exit code %d, want 1 for a cancelled batch", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("cancelled batch printed verdicts:\n%s", out.String())
 	}
 }
 
@@ -112,7 +133,7 @@ func TestRunBatchBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if code := runBatch(&out, 2, 1, "", []string{path}); code != 1 {
+	if code := runBatch(context.Background(), &out, 2, 1, false, "", []string{path}); code != 1 {
 		t.Errorf("exit code %d, want 1 under a 1-node budget", code)
 	}
 	if !strings.Contains(out.String(), "error") {
@@ -122,7 +143,7 @@ func TestRunBatchBudget(t *testing.T) {
 
 func TestRunBatchMissingFile(t *testing.T) {
 	var out strings.Builder
-	if code := runBatch(&out, 2, 0, "", []string{"/nonexistent/histories.txt"}); code != 1 {
+	if code := runBatch(context.Background(), &out, 2, 0, false, "", []string{"/nonexistent/histories.txt"}); code != 1 {
 		t.Errorf("exit code %d, want 1 for an unreadable file", code)
 	}
 }

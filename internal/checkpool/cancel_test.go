@@ -1,0 +1,155 @@
+package checkpool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"otm/internal/core"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base (plus a small allowance for runtime helpers) or the deadline
+// expires, returning the final count.
+func waitGoroutines(base int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunContextCancelMidBatch cancels the context partway through a
+// large batch and asserts the contract of RunContext: verdicts for
+// already-admitted histories still arrive, in input order and without
+// gaps; the rest of the input is discarded so the producer unblocks; the
+// verdict channel closes; and no pool goroutine is left behind. Runs
+// under the CI -race job.
+func TestRunContextCancelMidBatch(t *testing.T) {
+	const n = 5000
+	hs := corpus(n)
+	want := make([]bool, n)
+	for i, h := range hs {
+		res, err := core.Opaque(h)
+		if err != nil {
+			t.Fatalf("history %d: %v", i, err)
+		}
+		want[i] = res.Opaque
+	}
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := New(Options{Workers: 4, Window: 4})
+
+	in := make(chan Item)
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		defer close(in)
+		for i, h := range hs {
+			in <- Item{Source: fmt.Sprintf("line%d", i), History: h}
+		}
+	}()
+
+	got := 0
+	for v := range p.RunContext(ctx, in) {
+		if v.Index != got {
+			t.Fatalf("verdict %d carries index %d: cancellation broke ordering", got, v.Index)
+		}
+		if v.Source != fmt.Sprintf("line%d", got) {
+			t.Fatalf("verdict %d carries source %q", got, v.Source)
+		}
+		if v.Err != nil {
+			t.Fatalf("history %d: %v", got, v.Err)
+		}
+		if v.Result.Opaque != want[got] {
+			t.Fatalf("history %d: pool says opaque=%v, sequential says %v", got, v.Result.Opaque, want[got])
+		}
+		got++
+		if got == 16 {
+			cancel()
+		}
+	}
+	if got < 16 {
+		t.Fatalf("only %d verdicts before the channel closed, want at least the 16 seen pre-cancel", got)
+	}
+	if got == n {
+		t.Fatalf("cancellation admitted the whole %d-history batch", n)
+	}
+
+	// The producer must unblock even though most of its input was never
+	// admitted.
+	select {
+	case <-producerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked 5s after cancellation: input not drained")
+	}
+
+	if g := waitGoroutines(base); g > base {
+		t.Errorf("goroutine leak after cancellation: %d running, started with %d", g, base)
+	}
+}
+
+// TestRunContextCancelBeforeStart: a context cancelled before Run admits
+// anything yields zero verdicts, a closed channel and no leaked
+// goroutines — and the producer still unblocks.
+func TestRunContextCancelBeforeStart(t *testing.T) {
+	hs := corpus(32)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	in := make(chan Item)
+	go func() {
+		defer close(in)
+		for _, h := range hs {
+			in <- Item{History: h}
+		}
+	}()
+
+	got := 0
+	for range New(Options{Workers: 2}).RunContext(ctx, in) {
+		got++
+	}
+	if got != 0 {
+		t.Errorf("pre-cancelled pool emitted %d verdicts, want 0", got)
+	}
+	if g := waitGoroutines(base); g > base {
+		t.Errorf("goroutine leak: %d running, started with %d", g, base)
+	}
+}
+
+// TestRunContextRace hammers concurrent cancellation at random points
+// while verdicts stream, for the -race detector's benefit.
+func TestRunContextRace(t *testing.T) {
+	hs := corpus(200)
+	for round := 0; round < 8; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		in := make(chan Item)
+		go func() {
+			defer close(in)
+			for _, h := range hs {
+				in <- Item{History: h}
+			}
+		}()
+		go func(after int) {
+			time.Sleep(time.Duration(after) * time.Millisecond)
+			cancel()
+		}(round)
+		prev := -1
+		for v := range New(Options{Workers: 4, Window: 3}).RunContext(ctx, in) {
+			if v.Index != prev+1 {
+				t.Fatalf("round %d: verdict index %d after %d", round, v.Index, prev)
+			}
+			prev = v.Index
+		}
+		cancel()
+	}
+}

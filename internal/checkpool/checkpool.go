@@ -9,9 +9,13 @@
 // The pool is the engine behind `opacheck -parallel` and the
 // "check a million histories" workload: feed it a channel of items
 // (e.g. parsed from files or stdin) and range over the verdicts.
+// RunContext supports cooperative cancellation: admitted histories are
+// finished and emitted in order, the rest of the input is discarded, and
+// every pool goroutine exits.
 package checkpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -88,8 +92,21 @@ func New(opts Options) *Pool { return &Pool{opts: opts.withDefaults()} }
 // in input order. The verdict channel closes once all input has been
 // checked and emitted. Run returns immediately; the caller must drain
 // the returned channel (or consume it fully) for the pool to make
-// progress, since emission back-pressures admission.
+// progress, since emission back-pressures admission. It is shorthand for
+// RunContext with a background context.
 func (p *Pool) Run(in <-chan Item) <-chan Verdict {
+	return p.RunContext(context.Background(), in)
+}
+
+// RunContext is Run under a cancellable context. Cancelling ctx stops
+// the admission of new items: every item already admitted is still
+// checked and its verdict emitted, in input order and without gaps, and
+// then the verdict channel closes. Items not yet admitted are read from
+// in and discarded — so a producer blocked sending to in always
+// unblocks — but in must still be closed eventually for the drain (and
+// therefore the pool's goroutines) to finish. The caller must keep
+// draining the verdict channel after cancellation.
+func (p *Pool) RunContext(ctx context.Context, in <-chan Item) <-chan Verdict {
 	opts := p.opts.withDefaults()
 
 	type job struct {
@@ -103,15 +120,43 @@ func (p *Pool) Run(in <-chan Item) <-chan Verdict {
 	// the size of the reorder buffer below.
 	tickets := make(chan struct{}, opts.Window)
 
-	// Dispatcher: admit items as window slots free up.
+	// Dispatcher: admit items as window slots free up; once ctx is
+	// cancelled, stop admitting and drain in so producers never block on
+	// a cancelled pool.
 	go func() {
+		defer close(work)
 		idx := 0
-		for item := range in {
-			tickets <- struct{}{}
-			work <- job{idx: idx, item: item}
-			idx++
+		done := ctx.Done()
+		for {
+			// Cancellation wins over a simultaneously ready item: a
+			// cancelled pool never admits again.
+			select {
+			case <-done:
+				for range in { // discard
+				}
+				return
+			default:
+			}
+			select {
+			case <-done:
+				for range in { // discard
+				}
+				return
+			case item, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case tickets <- struct{}{}:
+				case <-done:
+					for range in { // discard, including this item's successors
+					}
+					return
+				}
+				work <- job{idx: idx, item: item}
+				idx++
+			}
 		}
-		close(work)
 	}()
 
 	// Workers: check admitted items.

@@ -23,6 +23,17 @@ func (b bitset) covers(other bitset) bool {
 	return true
 }
 
+// intersects reports whether b and other share at least one member. The
+// two bitsets must have the same word length.
+func (b bitset) intersects(other bitset) bool {
+	for w, bits := range other {
+		if bits&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // appendKey appends the raw words of b to dst, producing a fixed-width
 // prefix for memoization keys.
 func (b bitset) appendKey(dst []byte) []byte {

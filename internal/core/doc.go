@@ -15,17 +15,35 @@
 //     internal/spec) — opacity is defined for arbitrary objects, not just
 //     read/write registers.
 //
-//   - Opaque, a decision procedure implementing Definition 1 directly: it
-//     searches over the completions Complete(H) (each commit-pending
-//     transaction may be committed or aborted) and over all serializations
-//     consistent with the real-time order ≺H, with incremental legality
-//     pruning and memoization on (placed-transaction set, object states).
-//     On success it returns a Witness — the completion and serialization
-//     order demonstrating opacity; on failure, a proof-of-search
-//     exhaustion. Deciding opacity is NP-hard in general (it subsumes
-//     view-serializability), so the procedure is exponential in the worst
-//     case; the pruning makes it fast on the history sizes produced by
-//     tests, fuzzing and recorded STM runs.
+//   - Opaque, a completion-aware decision procedure implementing
+//     Definition 1. The search covers Complete(H) without enumerating its
+//     2^k members as an outer loop: the commit/abort fate of each
+//     commit-pending transaction is decided lazily, as a branch taken
+//     when the transaction is placed in the serialization (commit makes
+//     its effects visible to later placements; abort leaves no trace).
+//     One memo table — failure verdicts keyed by (placed-transaction
+//     set, object-state fingerprint, last placement) — and one node
+//     budget therefore serve the entire verdict, and search prefixes
+//     shared between completions are explored once. A partial-order
+//     reduction prunes placements further: when adjacent placements
+//     commute (the transactions have disjoint completed-operation
+//     footprints, so neither's legality nor resulting states can depend
+//     on the other), only the canonical order is explored; each
+//     equivalence class of serializations keeps its lexicographically
+//     least member, so no witness is lost. On success Opaque returns a
+//     Witness — the completion assembled from the chosen fates, the
+//     serialization order, and the sequential history S they induce; the
+//     Nodes count of every Result measures the search, making the
+//     reduction observable (see `opacheck -parallel`'s nodes= output and
+//     BenchmarkCheckOpacityBatch's nodes/corpus metric). Deciding
+//     opacity is NP-hard in general (it subsumes view-serializability),
+//     so the procedure is exponential in the worst case; the pruning
+//     makes it fast on the history sizes produced by tests, fuzzing and
+//     recorded STM runs. The pre-unification engine — completions as an
+//     outer loop, an un-memoized backtracking search per completion —
+//     survives behind Config.DisableMemo as the reference the unified
+//     engine is differentially tested and fuzzed against
+//     (FuzzCheckOpacityDiff, search_diff_test.go).
 //
 //   - FirstNonOpaquePrefix, an "online" view: TM histories are generated
 //     progressively and every prefix observed by the application must

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/gen"
+	"otm/internal/history"
+)
+
+// FuzzCheckOpacityDiff is the fuzz half of the engine differential
+// suite: on every parseable, well-formed history, the unified
+// completion-aware engine and the per-completion reference engine
+// (core.Config.DisableMemo) must reach the same opacity verdict, and an
+// opaque verdict must come with a witness satisfying all three clauses
+// of Definition 1. Seeds come from the same generated corpora the
+// deterministic differential tests sweep, so the fuzzer starts from
+// inputs known to exercise both verdicts and commit-pending branching.
+func FuzzCheckOpacityDiff(f *testing.F) {
+	for _, h := range gen.Corpus(gen.Config{Txs: 5, Objs: 3, MaxOps: 3, PStaleRead: 0.3}, 600, 0) {
+		f.Add(h.String())
+	}
+	// Commit-pending-heavy seeds: the regime where the engines diverge
+	// structurally (lazy fates vs completion enumeration).
+	for _, h := range gen.Corpus(gen.Config{Txs: 5, Objs: 2, MaxOps: 3, PStaleRead: 0.4, PLeaveLive: 0.8}, 600, 1_000_000) {
+		f.Add(h.String())
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := history.Parse(src)
+		if err != nil || h.WellFormed() != nil {
+			return
+		}
+		// Keep the reference's 2^k completion loop and the backtracking
+		// search inside fuzz-friendly bounds.
+		if len(h) > 64 || len(h.Transactions()) > 8 || len(h.CommitPendingTxs()) > 6 {
+			return
+		}
+		cfg := core.Config{MaxNodes: 200_000}
+		uni, errU := core.Check(h, cfg)
+		cfg.DisableMemo = true
+		ref, errR := core.Check(h, cfg)
+		if errors.Is(errU, core.ErrSearchLimit) || errors.Is(errR, core.ErrSearchLimit) {
+			return // starved: nothing to compare
+		}
+		if errU != nil || errR != nil {
+			t.Fatalf("unified err=%v, reference err=%v on well-formed input:\n%s", errU, errR, h.Format())
+		}
+		if uni.Opaque != ref.Opaque {
+			t.Fatalf("unified engine says opaque=%v, reference says %v:\n%s",
+				uni.Opaque, ref.Opaque, h.Format())
+		}
+		if !uni.Opaque {
+			return
+		}
+		// The witness must be a genuine Definition 1 certificate.
+		w := uni.Witness
+		s := w.Sequential
+		if !s.Sequential() || !s.Complete() {
+			t.Fatalf("witness S not complete-sequential:\n%s", s.Format())
+		}
+		if err := w.Completion.WellFormed(); err != nil {
+			t.Fatalf("witness completion malformed: %v", err)
+		}
+		if !history.Equivalent(s, w.Completion) {
+			t.Fatalf("witness S not equivalent to its completion:\n%s", s.Format())
+		}
+		if !history.PreservesRealTimeOrder(h, s) {
+			t.Fatalf("witness S breaks ≺H:\n%s", s.Format())
+		}
+		if tx, ok := core.AllLegal(s, nil); !ok {
+			t.Fatalf("T%d illegal in witness S:\n%s", int(tx), s.Format())
+		}
+	})
+}

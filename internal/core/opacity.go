@@ -12,10 +12,12 @@ import (
 // configured node budget before reaching a verdict.
 var ErrSearchLimit = errors.New("core: opacity search exceeded node limit")
 
-// Witness demonstrates that a history is opaque: Completion is the chosen
-// member of Complete(H), Order is the serialization of its transactions,
-// and Sequential is the resulting history S of Definition 1 (equivalent
-// to Completion, preserving ≺H, with every transaction legal).
+// Witness demonstrates that a history is opaque: Completion is the member
+// of Complete(H) assembled from the commit/abort fates the search chose
+// for the commit-pending transactions, Order is the serialization of its
+// transactions, and Sequential is the resulting history S of Definition 1
+// (equivalent to Completion, preserving ≺H, with every transaction
+// legal).
 type Witness struct {
 	Completion history.History
 	Order      []history.TxID
@@ -31,7 +33,10 @@ type Result struct {
 	Opaque bool
 	// Witness is non-nil iff Opaque: the certificate of Definition 1.
 	Witness *Witness
-	// Nodes is the number of search nodes explored (diagnostics).
+	// Nodes is the number of search nodes explored. For the default
+	// engine this counts one unified search across all completions; for
+	// the DisableMemo reference it accumulates across the per-completion
+	// searches, so the two are directly comparable.
 	Nodes int
 }
 
@@ -42,11 +47,15 @@ type Config struct {
 	// integer registers initialized to 0, matching the paper's examples.
 	Objects spec.Objects
 	// MaxNodes bounds the number of search nodes; 0 means the default
-	// (4,000,000). Exceeding the bound yields ErrSearchLimit.
+	// (4,000,000). Exceeding the bound yields ErrSearchLimit. The budget
+	// covers the whole verdict: one unified search for the default
+	// engine, the sum over completions for the reference engine.
 	MaxNodes int
-	// DisableMemo runs the un-memoized reference search instead of the
-	// memoized engine. Differential-testing hook; see
-	// SerializeOptions.DisableMemo.
+	// DisableMemo runs the reference decision procedure instead of the
+	// unified engine: completions are enumerated as an outer loop (2^k
+	// for k commit-pending transactions) and each runs an un-memoized
+	// backtracking search without partial-order reduction.
+	// Differential-testing hook; not for production paths.
 	DisableMemo bool
 }
 
@@ -63,16 +72,27 @@ func Opaque(h history.History) (Result, error) {
 //	∃ H' ∈ Complete(H), ∃ sequential S ≡ H' such that
 //	S preserves ≺H and every transaction in S is legal in S.
 //
-// The search enumerates completions lazily and serializations by
-// backtracking: a transaction may be appended to the partial order when
-// all its ≺H-predecessors have been placed and its operation executions
-// are legal on the object states produced by the committed transactions
-// placed so far. Failed search states are memoized by (completion,
-// placed-set, object-state fingerprint).
+// The search is completion-aware: instead of enumerating the 2^k members
+// of Complete(H) as an outer loop, the fate of each commit-pending
+// transaction is decided lazily when the transaction is placed in the
+// serialization (see DecideBranch), so one memo table and one node
+// budget serve the whole verdict. A transaction may be appended to the
+// partial order when all its ≺H-predecessors have been placed and its
+// operation executions are legal on the object states produced by the
+// committed transactions placed so far. Failed search states are
+// memoized by (placed-set, object-state fingerprint, last placement),
+// and placements that merely transpose adjacent commuting transactions
+// (disjoint object footprints) are explored only once.
 //
 // Check returns an error if h is not well-formed or the node budget is
 // exhausted.
 func Check(h history.History, cfg Config) (Result, error) {
+	return check(h, cfg, nil)
+}
+
+// check is the engine shared by Check and CheckStrong: extraPreds adds
+// ordering constraints on top of the real-time order ≺H.
+func check(h history.History, cfg Config, extraPreds [][2]history.TxID) (Result, error) {
 	if err := h.WellFormed(); err != nil {
 		return Result{}, err
 	}
@@ -90,31 +110,83 @@ func Check(h history.History, cfg Config) (Result, error) {
 	// requires S to preserve the real-time order of H, not of the
 	// completion.
 	preds := h.RealTimeOrder()
+	preds = append(preds, extraPreds...)
 
+	if cfg.DisableMemo {
+		return checkPerCompletion(h, cfg, txs, preds, maxNodes)
+	}
+
+	res := Result{}
+	ser, err := FindSerialization(SerializeOptions{
+		Source: h,
+		Txs:    txs,
+		Decide: func(tx history.TxID) Decision {
+			switch h.Status(tx) {
+			case history.StatusCommitted:
+				return DecideCommitted
+			case history.StatusCommitPending:
+				return DecideBranch
+			default:
+				// Aborted, or live without a commit-try: every completion
+				// aborts it.
+				return DecideAborted
+			}
+		},
+		Preds:    preds,
+		Objects:  cfg.Objects,
+		MaxNodes: maxNodes,
+		Nodes:    &res.Nodes,
+	})
+	if err != nil {
+		return res, err
+	}
+	if ser == nil {
+		return res, nil
+	}
+	hc := h.CompleteWith(ser.Commits)
+	res.Opaque = true
+	res.Witness = &Witness{
+		Completion: hc,
+		Order:      ser.Order,
+		Sequential: buildSequential(hc, ser.Order),
+	}
+	return res, nil
+}
+
+// checkPerCompletion is the retained reference decision procedure: the
+// completion-outer-loop, un-memoized search that the unified engine is
+// differentially tested against. It inherits EachCompletion's limit of
+// 62 commit-pending transactions; the unified engine has no such cap.
+func checkPerCompletion(h history.History, cfg Config, txs []history.TxID, preds [][2]history.TxID, maxNodes int) (Result, error) {
 	res := Result{}
 	var found *Witness
 	var searchErr error
 
 	h.EachCompletion(func(hc history.History) bool {
-		order, ok, err := FindSerialization(SerializeOptions{
-			Source:      hc,
-			Txs:         txs,
-			Committed:   func(tx history.TxID) bool { return hc.Committed(tx) },
+		ser, err := FindSerialization(SerializeOptions{
+			Source: hc,
+			Txs:    txs,
+			Decide: func(tx history.TxID) Decision {
+				if hc.Committed(tx) {
+					return DecideCommitted
+				}
+				return DecideAborted
+			},
 			Preds:       preds,
 			Objects:     cfg.Objects,
 			MaxNodes:    maxNodes,
 			Nodes:       &res.Nodes,
-			DisableMemo: cfg.DisableMemo,
+			DisableMemo: true,
 		})
 		if err != nil {
 			searchErr = err
 			return false
 		}
-		if ok {
+		if ser != nil {
 			found = &Witness{
 				Completion: hc,
-				Order:      order,
-				Sequential: buildSequential(hc, order),
+				Order:      ser.Order,
+				Sequential: buildSequential(hc, ser.Order),
 			}
 			return false // stop enumerating completions
 		}

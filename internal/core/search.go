@@ -5,20 +5,42 @@ import (
 	"otm/internal/spec"
 )
 
+// Decision tells the serialization search how to treat one transaction's
+// commit status when the transaction is placed.
+type Decision int
+
+const (
+	// DecideCommitted: the transaction's effects update the object states
+	// seen by transactions placed after it.
+	DecideCommitted Decision = iota
+	// DecideAborted: the transaction is checked for legality but leaves
+	// no trace on the object states.
+	DecideAborted
+	// DecideBranch marks a commit-pending transaction whose fate the
+	// search chooses: placement branches on committing it (its effects
+	// become visible) versus aborting it (no trace). This is how the
+	// search covers Complete(H) without enumerating the 2^k completions
+	// as an outer loop — each completion corresponds to one assignment of
+	// fates along a search path, and the memo table and node budget are
+	// shared across all of them.
+	DecideBranch
+)
+
 // SerializeOptions parameterizes the serialization search shared by the
 // opacity checker and the weaker criteria of internal/criteria.
 type SerializeOptions struct {
-	// Source supplies the per-transaction event sequences (typically a
-	// completion of the history under test).
+	// Source supplies the per-transaction event sequences. For opacity
+	// this is the history under test itself: completions only append
+	// commit/abort events, so the operation executions of every
+	// transaction are identical across all of Complete(H).
 	Source history.History
 	// Txs are the transactions to serialize. For opacity this is every
-	// transaction of the completion; for serializability-style criteria,
+	// transaction of the history; for serializability-style criteria,
 	// only the committed ones.
 	Txs []history.TxID
-	// Committed tells which transactions update the object states once
-	// placed. Transactions for which it returns false are checked for
-	// legality but leave no trace.
-	Committed func(history.TxID) bool
+	// Decide maps each transaction to how its placement treats the object
+	// states (committed, aborted, or branch on both).
+	Decide func(history.TxID) Decision
 	// Preds are ordering constraints: each pair (a, b) requires a to be
 	// serialized before b. Pairs mentioning transactions outside Txs are
 	// ignored.
@@ -30,37 +52,58 @@ type SerializeOptions struct {
 	// node count across calls when non-nil.
 	MaxNodes int
 	Nodes    *int
-	// DisableMemo turns off the (placed-set, object-state) verdict cache
-	// and runs the plain backtracking search. It exists as the reference
+	// DisableMemo turns off both the (placed-set, object-state, last)
+	// verdict cache and the commutativity-based partial-order reduction,
+	// running the plain backtracking search. It exists as the reference
 	// implementation for differential testing of the memoized engine and
 	// should not be set on production paths.
 	DisableMemo bool
 }
 
+// Serialization is the successful outcome of FindSerialization.
+type Serialization struct {
+	// Order is the serialization of the transactions.
+	Order []history.TxID
+	// Commits records the fate the search chose for every DecideBranch
+	// transaction: true = committed, false = aborted. Transactions with a
+	// fixed Decision do not appear. The map is in the shape expected by
+	// history.CompleteWith.
+	Commits map[history.TxID]bool
+}
+
 // searcher is the memoized serialization engine. One instance serves one
 // FindSerialization call: the memo table caches failure verdicts keyed by
-// (placed-transaction bitset, object-state fingerprint), so isomorphic
-// search prefixes — different placement orders reaching the same set of
-// placed transactions and the same object states — are explored once.
+// (placed-transaction bitset, object-state fingerprint, last placed
+// transaction), so isomorphic search prefixes — different placement
+// orders and different commit/abort fate assignments reaching the same
+// set of placed transactions and the same object states — are explored
+// once. The last placed transaction is part of the key because the
+// partial-order reduction prunes successors relative to it.
 type searcher struct {
-	n         int
-	txs       []history.TxID
-	execs     [][]history.OpExec
-	committed []bool
-	preds     []bitset
-	objIDs    []history.ObjID
-	maxNodes  int
-	nodes     *int
-	memo      map[string]struct{} // failed states; nil = memoization off
-	keyBuf    []byte              // reused scratch for memo keys
-	order     []history.TxID
+	n        int
+	txs      []history.TxID
+	execs    [][]history.OpExec
+	decide   []Decision
+	fate     []bool // chosen fate per placed transaction (branch txs)
+	preds    []bitset
+	foot     []bitset // per-transaction object footprint (bit per object)
+	objIDs   []history.ObjID
+	maxNodes int
+	nodes    *int
+	memo     map[string]struct{} // failed states; nil = memoization off
+	por      bool                // partial-order reduction on
+	keyBuf   []byte              // reused scratch for memo keys
+	order    []history.TxID
 }
 
 // stateKey renders the memo key for the current search state into the
-// reused scratch buffer: the raw words of the placed bitset followed by
-// the canonical fingerprint of every object state.
-func (s *searcher) stateKey(placed bitset, states spec.Objects) []byte {
+// reused scratch buffer: the raw words of the placed bitset, the index of
+// the last placed transaction, then the canonical fingerprint of every
+// object state.
+func (s *searcher) stateKey(placed bitset, states spec.Objects, last int) []byte {
 	buf := placed.appendKey(s.keyBuf[:0])
+	u := uint32(last + 1) // -1 (root) becomes 0
+	buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
 	for _, id := range s.objIDs {
 		buf = append(buf, id...)
 		buf = append(buf, '=')
@@ -75,11 +118,29 @@ func (s *searcher) stateKey(placed bitset, states spec.Objects) []byte {
 	return buf
 }
 
+// prunable implements the partial-order reduction: placing candidate i
+// directly after last is skipped when the swapped order — i first, then
+// last — is a valid placement too, reaches the identical search state,
+// and is lexicographically smaller (i < last by index). The swap is valid
+// exactly when the two transactions commute (disjoint completed-operation
+// footprints: neither one's legality or resulting states can depend on
+// the other) and i was already placeable before last was placed (last is
+// not a predecessor of i; i's other predecessors were placed earlier).
+// Every equivalence class of serializations under such adjacent swaps
+// retains its lexicographically least member, which passes this test at
+// every step, so pruning the rest never loses a witness.
+func (s *searcher) prunable(i, last int) bool {
+	return s.por && last >= 0 && i < last &&
+		!s.preds[i].has(last) &&
+		!s.foot[i].intersects(s.foot[last])
+}
+
 // search tries to extend the partial serialization. placed is mutated in
 // place (set before recursing, cleared on backtrack); count is the number
-// of placed transactions. On success the winning bits stay set and
-// s.order holds the full serialization.
-func (s *searcher) search(placed bitset, count int, states spec.Objects) bool {
+// of placed transactions; last is the index of the most recently placed
+// transaction (-1 at the root). On success the winning bits stay set and
+// s.order / s.fate hold the full serialization and fate assignment.
+func (s *searcher) search(placed bitset, count int, states spec.Objects, last int) bool {
 	if *s.nodes >= s.maxNodes {
 		return false
 	}
@@ -89,13 +150,13 @@ func (s *searcher) search(placed bitset, count int, states spec.Objects) bool {
 	}
 	var key []byte
 	if s.memo != nil {
-		key = s.stateKey(placed, states)
+		key = s.stateKey(placed, states, last)
 		if _, failed := s.memo[string(key)]; failed {
 			return false
 		}
 	}
 	for i := 0; i < s.n; i++ {
-		if placed.has(i) || !placed.covers(s.preds[i]) {
+		if placed.has(i) || !placed.covers(s.preds[i]) || s.prunable(i, last) {
 			continue
 		}
 		next, legal := replayTx(states, s.execs[i])
@@ -103,12 +164,27 @@ func (s *searcher) search(placed bitset, count int, states spec.Objects) bool {
 			continue
 		}
 		s.order = append(s.order, s.txs[i])
-		after := states
-		if s.committed[i] {
-			after = next
-		}
 		placed.set(i)
-		if s.search(placed, count+1, after) {
+		found := false
+		switch s.decide[i] {
+		case DecideCommitted:
+			s.fate[i] = true
+			found = s.search(placed, count+1, next, i)
+		case DecideAborted:
+			s.fate[i] = false
+			found = s.search(placed, count+1, states, i)
+		case DecideBranch:
+			// Abort first: it keeps the object states unchanged, matching
+			// the reference engine's enumeration order (completion mask 0
+			// aborts every commit-pending transaction).
+			s.fate[i] = false
+			found = s.search(placed, count+1, states, i)
+			if !found {
+				s.fate[i] = true
+				found = s.search(placed, count+1, next, i)
+			}
+		}
+		if found {
 			return true
 		}
 		placed.clear(i)
@@ -117,20 +193,22 @@ func (s *searcher) search(placed bitset, count int, states spec.Objects) bool {
 	if s.memo != nil {
 		// key was rendered into the shared scratch buffer before the
 		// recursive calls overwrote it; re-render for the insert.
-		s.memo[string(s.stateKey(placed, states))] = struct{}{}
+		s.memo[string(s.stateKey(placed, states, last))] = struct{}{}
 	}
 	return false
 }
 
 // FindSerialization searches for an order of o.Txs such that every
 // ordering constraint holds and every transaction is legal on the object
-// states produced by the committed transactions placed before it. It
-// returns the order and true on success; false if no such order exists.
-// ErrSearchLimit is returned when the node budget is exhausted first.
-func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
+// states produced by the committed transactions placed before it,
+// choosing a commit/abort fate for every DecideBranch transaction along
+// the way. It returns the serialization on success and nil if no order
+// (under any fate assignment) exists. ErrSearchLimit is returned when the
+// node budget is exhausted first.
+func FindSerialization(o SerializeOptions) (*Serialization, error) {
 	n := len(o.Txs)
 	if n == 0 {
-		return nil, true, nil
+		return &Serialization{}, nil
 	}
 	maxNodes := o.MaxNodes
 	if maxNodes == 0 {
@@ -156,22 +234,25 @@ func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
 	}
 
 	s := &searcher{
-		n:         n,
-		txs:       o.Txs,
-		execs:     make([][]history.OpExec, n),
-		committed: make([]bool, n),
-		preds:     preds,
-		objIDs:    sortedObjects(o.Source),
-		maxNodes:  maxNodes,
-		nodes:     nodes,
-		order:     make([]history.TxID, 0, n),
+		n:        n,
+		txs:      o.Txs,
+		execs:    make([][]history.OpExec, n),
+		decide:   make([]Decision, n),
+		fate:     make([]bool, n),
+		preds:    preds,
+		objIDs:   sortedObjects(o.Source),
+		maxNodes: maxNodes,
+		nodes:    nodes,
+		order:    make([]history.TxID, 0, n),
 	}
 	for i, tx := range o.Txs {
 		s.execs[i] = o.Source.OpExecs(tx)
-		s.committed[i] = o.Committed(tx)
+		s.decide[i] = o.Decide(tx)
 	}
 	if !o.DisableMemo {
 		s.memo = make(map[string]struct{})
+		s.por = true
+		s.foot = footprints(o.Source, o.Txs, s.objIDs)
 	}
 
 	baseObjs := o.Objects
@@ -179,11 +260,40 @@ func FindSerialization(o SerializeOptions) ([]history.TxID, bool, error) {
 		baseObjs = spec.Objects{}
 	}
 
-	if s.search(newBitset(n), 0, baseObjs) {
-		return append([]history.TxID(nil), s.order...), true, nil
+	if s.search(newBitset(n), 0, baseObjs, -1) {
+		ser := &Serialization{Order: append([]history.TxID(nil), s.order...)}
+		for i, tx := range o.Txs {
+			if s.decide[i] == DecideBranch {
+				if ser.Commits == nil {
+					ser.Commits = make(map[history.TxID]bool)
+				}
+				ser.Commits[tx] = s.fate[i]
+			}
+		}
+		return ser, nil
 	}
 	if *nodes >= maxNodes {
-		return nil, false, ErrSearchLimit
+		return nil, ErrSearchLimit
 	}
-	return nil, false, nil
+	return nil, nil
+}
+
+// footprints renders each transaction's object footprint (see
+// history.Footprint) as a bitset over the sorted object ids, the form the
+// partial-order reduction's disjointness test consumes.
+func footprints(src history.History, txs []history.TxID, objIDs []history.ObjID) []bitset {
+	objIdx := make(map[history.ObjID]int, len(objIDs))
+	for i, id := range objIDs {
+		objIdx[id] = i
+	}
+	foot := make([]bitset, len(txs))
+	for i, tx := range txs {
+		foot[i] = newBitset(len(objIDs))
+		for _, ob := range src.Footprint(tx) {
+			if j, ok := objIdx[ob]; ok {
+				foot[i].set(j)
+			}
+		}
+	}
+	return foot
 }

@@ -48,48 +48,9 @@ func OpOrderPreds(h history.History) [][2]history.TxID {
 // transactions' operations mutually interleave with a data dependency.
 // It exists for that comparison; TM implementations should be audited
 // with Check.
+// Like Check, the decision runs on the completion-aware unified engine
+// (per-completion reference behind Config.DisableMemo); the only
+// difference is the extra ordering constraints.
 func CheckStrong(h history.History, cfg Config) (Result, error) {
-	if err := h.WellFormed(); err != nil {
-		return Result{}, err
-	}
-	txs := h.Transactions()
-	if len(txs) == 0 {
-		return Result{Opaque: true, Witness: &Witness{}}, nil
-	}
-	maxNodes := cfg.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = defaultMaxNodes
-	}
-	preds := append(h.RealTimeOrder(), OpOrderPreds(h)...)
-
-	res := Result{}
-	var found *Witness
-	var searchErr error
-	h.EachCompletion(func(hc history.History) bool {
-		order, ok, err := FindSerialization(SerializeOptions{
-			Source:      hc,
-			Txs:         txs,
-			Committed:   func(tx history.TxID) bool { return hc.Committed(tx) },
-			Preds:       preds,
-			Objects:     cfg.Objects,
-			MaxNodes:    maxNodes,
-			Nodes:       &res.Nodes,
-			DisableMemo: cfg.DisableMemo,
-		})
-		if err != nil {
-			searchErr = err
-			return false
-		}
-		if ok {
-			found = &Witness{Completion: hc, Order: order, Sequential: buildSequential(hc, order)}
-			return false
-		}
-		return true
-	})
-	if found != nil {
-		res.Opaque = true
-		res.Witness = found
-		return res, nil
-	}
-	return res, searchErr
+	return check(h, cfg, OpOrderPreds(h))
 }

@@ -47,14 +47,14 @@ func serializable(h history.History, objs spec.Objects, realTime bool) (bool, er
 	if realTime {
 		preds = h.RealTimeOrder()
 	}
-	_, ok, err := core.FindSerialization(core.SerializeOptions{
-		Source:    proj,
-		Txs:       txs,
-		Committed: func(history.TxID) bool { return true },
-		Preds:     preds,
-		Objects:   objs,
+	ser, err := core.FindSerialization(core.SerializeOptions{
+		Source:  proj,
+		Txs:     txs,
+		Decide:  func(history.TxID) core.Decision { return core.DecideCommitted },
+		Preds:   preds,
+		Objects: objs,
 	})
-	return ok, err
+	return ser != nil, err
 }
 
 // Serializable reports whether h is serializable (§3.2): all committed

@@ -1,0 +1,67 @@
+package history_test
+
+import (
+	"testing"
+
+	"otm/internal/gen"
+	"otm/internal/history"
+)
+
+// FuzzParseRoundTrip is the corpus-seeded strict round-trip target: it
+// complements FuzzParse (which asserts "no panic, stable reparse" on
+// arbitrary bytes) by seeding from the same generated corpora the
+// differential suite checks, so the fuzzer explores the neighbourhood of
+// realistic well-formed histories. For every accepted input it asserts
+// that String() re-renders to the identical event sequence, and that
+// every completion of a well-formed history survives its own round trip
+// — the invariant the opacheck pipeline (histgen | opacheck) and the
+// corpus files rely on.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, h := range gen.Corpus(gen.Config{Txs: 5, Objs: 3, MaxOps: 3, PStaleRead: 0.3}, 600, 0) {
+		f.Add(h.String())
+	}
+	for _, h := range gen.Corpus(gen.Config{Txs: 4, Objs: 2, MaxOps: 2, PStaleRead: 0.4, PLeaveLive: 0.8}, 600, 500_000) {
+		f.Add(h.String())
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := history.Parse(src)
+		if err != nil {
+			return
+		}
+		reparse := func(label string, hh history.History) {
+			s := hh.String()
+			h2, err := history.Parse(s)
+			if err != nil {
+				t.Fatalf("%s: String output %q failed to reparse: %v", label, s, err)
+			}
+			if len(hh) != len(h2) {
+				t.Fatalf("%s: round trip changed length: %d vs %d", label, len(hh), len(h2))
+			}
+			for i := range hh {
+				if hh[i] != h2[i] {
+					t.Fatalf("%s: round trip changed event %d: %v vs %v", label, i, hh[i], h2[i])
+				}
+			}
+		}
+		reparse("input", h)
+		if h.WellFormed() != nil {
+			return
+		}
+		// Completions only append events, stay well-formed, and must stay
+		// renderable: verdict lines and corpus files round-trip through
+		// the same grammar.
+		if len(h.CommitPendingTxs()) > 6 {
+			return
+		}
+		n := 0
+		h.EachCompletion(func(c history.History) bool {
+			if err := c.WellFormed(); err != nil {
+				t.Fatalf("completion %d malformed: %v\n%s", n, err, c.Format())
+			}
+			reparse("completion", c)
+			n++
+			return true
+		})
+	})
+}

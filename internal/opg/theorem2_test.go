@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"otm/internal/core"
+	"otm/internal/gen"
 	"otm/internal/history"
 )
 
@@ -39,5 +40,95 @@ func TestTheorem2Budget(t *testing.T) {
 	}
 	if nodes == 0 {
 		t.Error("Nodes counter did not accumulate")
+	}
+}
+
+// TestTheorem2MatchesDefinitionSmall is the table-driven cross-check of
+// the two decision procedures: on every generated history of at most 5
+// transactions (T0 included), the Theorem 2 graph search — run through
+// its budget entry point — must agree with the completion-aware
+// Definition 1 checker of internal/core. The cases sweep transaction
+// count, object count, operation density, stale-read adversariality and
+// commit-pending pressure, so both verdicts, the consistency
+// precondition and the V-subset branching are all exercised.
+func TestTheorem2MatchesDefinitionSmall(t *testing.T) {
+	base := gen.Config{Objs: 2, MaxOps: 2, WithInit: true, PStaleRead: 0.35}
+	with := func(mut func(*gen.Config)) gen.Config {
+		cfg := base
+		mut(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name  string
+		cfg   gen.Config
+		seeds int64
+	}{
+		{"1tx", with(func(c *gen.Config) { c.Txs = 1 }), 150},
+		{"2tx", with(func(c *gen.Config) { c.Txs = 2 }), 250},
+		{"3tx", with(func(c *gen.Config) { c.Txs = 3 }), 300},
+		{"4tx", with(func(c *gen.Config) { c.Txs = 4 }), 300},
+		{"4tx-dense", with(func(c *gen.Config) { c.Txs = 4; c.MaxOps = 3; c.Objs = 3 }), 200},
+		{"4tx-adversarial", with(func(c *gen.Config) { c.Txs = 4; c.PStaleRead = 0.6 }), 250},
+		{"4tx-commit-pending", with(func(c *gen.Config) { c.Txs = 4; c.PLeaveLive = 0.7 }), 300},
+		{"3tx-single-object", with(func(c *gen.Config) { c.Txs = 3; c.Objs = 1; c.MaxOps = 3 }), 250},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seeds := tc.seeds
+			if testing.Short() {
+				seeds /= 4
+			}
+			opaque, notOpaque, inconsistent := 0, 0, 0
+			for seed := int64(0); seed < seeds; seed++ {
+				h := gen.History(tc.cfg, seed)
+				if n := len(h.Transactions()); n > 5 {
+					t.Fatalf("seed %d: generator produced %d transactions, want ≤5", seed, n)
+				}
+
+				var nodes int
+				gRes, err := CheckTheorem2Budget(h, Theorem2Config{Nodes: &nodes})
+				if err != nil {
+					t.Fatalf("seed %d: opg: %v\n%s", seed, err, h.Format())
+				}
+				dRes, err := core.Check(h, core.Config{})
+				if err != nil {
+					t.Fatalf("seed %d: core: %v\n%s", seed, err, h.Format())
+				}
+
+				if gRes.Opaque != dRes.Opaque {
+					t.Fatalf("seed %d: Theorem 2 says opaque=%v but Definition 1 says %v\nconsistent=%v reason=%v\n%s",
+						seed, gRes.Opaque, dRes.Opaque, gRes.Consistent, gRes.Reason, h.Format())
+				}
+				if !gRes.Consistent {
+					inconsistent++
+					if dRes.Opaque {
+						t.Fatalf("seed %d: inconsistent per Theorem 2 yet opaque per Definition 1:\n%s",
+							seed, h.Format())
+					}
+				} else if nodes == 0 && len(Nonlocal(h).Transactions()) > 0 {
+					t.Errorf("seed %d: consistent non-trivial history built no candidate graphs", seed)
+				}
+				if gRes.Opaque {
+					opaque++
+					if len(gRes.Order) != len(Nonlocal(h).Transactions()) {
+						t.Fatalf("seed %d: witness order %v does not cover the nonlocal transactions", seed, gRes.Order)
+					}
+				} else {
+					notOpaque++
+				}
+			}
+			t.Logf("%s: %d opaque, %d non-opaque (%d inconsistent) over %d seeds",
+				tc.name, opaque, notOpaque, inconsistent, seeds)
+			// Every case must genuinely exercise the comparison; the
+			// all-committing and adversarial corpora must produce both
+			// verdicts in bulk.
+			if opaque == 0 {
+				t.Errorf("%s: corpus produced no opaque histories", tc.name)
+			}
+			if tc.cfg.PStaleRead >= 0.35 && tc.cfg.Txs >= 3 && notOpaque == 0 {
+				t.Errorf("%s: adversarial corpus produced no non-opaque histories", tc.name)
+			}
+		})
 	}
 }
