@@ -222,18 +222,23 @@ func BenchmarkCheckOpacity(b *testing.B) {
 }
 
 // BenchmarkCheckOpacityBatch times bulk opacity checking of 1000-history
-// corpora: the sequential baseline (one core.Check after another), the
-// same work through internal/checkpool at several widths (the
-// `opacheck -parallel` path), and the per-completion reference engine
-// (core.Config.DisableMemo) to expose what the unified completion-aware
-// search buys. Each run reports nodes/corpus — the search nodes one pass
-// over the corpus explores — so the reduction from lazy commit/abort
-// branching, the shared memo and the partial-order reduction is visible
-// directly in the bench output. The "commitpending" corpus (every third
-// transaction left commit-pending) is the regime the unified engine
-// targets: the reference pays for 2^k completions there, and sequential
-// must report strictly fewer nodes than reference at no time cost. On a
-// machine with ≥4 cores, parallel4 should beat sequential by ≥3×.
+// corpora: the sequential baseline (one core.Check after another on a
+// per-corpus-pass SearchContext — the intended batch shape), the same
+// work through internal/checkpool at several widths (the
+// `opacheck -parallel` path, one context per worker), and the
+// per-completion reference engine (core.Config.DisableMemo) to expose
+// what the unified interned-state search buys. Each run reports
+// nodes/corpus — the search nodes one pass over the corpus explores —
+// plus states-interned for the context-backed runs, and allocations
+// (b.ReportAllocs, so allocs/op appears without -benchmem), making the
+// interning payoff visible directly in the bench output: the reduction
+// from lazy commit/abort branching, the shared memo, the partial-order
+// reduction, and the allocation-free memo/transition keys. The
+// "commitpending" corpus (most transactions left commit-pending) is the
+// regime the unified engine targets: the reference pays for 2^k
+// completions there. Sequential must report strictly fewer nodes than
+// reference at far lower time; see README.md's Performance section for
+// recorded before/after numbers.
 func BenchmarkCheckOpacityBatch(b *testing.B) {
 	for _, corpus := range []struct {
 		name string
@@ -244,20 +249,26 @@ func BenchmarkCheckOpacityBatch(b *testing.B) {
 	} {
 		hs := corpus.hs
 		b.Run(corpus.name+"/sequential", func(b *testing.B) {
-			nodes := 0
+			b.ReportAllocs()
+			nodes, states := 0, 0
 			for i := 0; i < b.N; i++ {
+				ctx := core.NewSearchContext()
+				cfg := core.Config{Context: ctx}
 				nodes = 0
 				for _, h := range hs {
-					res, err := core.Opaque(h)
+					res, err := core.Check(h, cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
 					nodes += res.Nodes
 				}
+				states = ctx.Stats().States
 			}
 			b.ReportMetric(float64(nodes), "nodes/corpus")
+			b.ReportMetric(float64(states), "states-interned")
 		})
 		b.Run(corpus.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.Config{DisableMemo: true}
 			nodes := 0
 			for i := 0; i < b.N; i++ {
@@ -274,9 +285,12 @@ func BenchmarkCheckOpacityBatch(b *testing.B) {
 		})
 		for _, workers := range []int{2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/parallel%d", corpus.name, workers), func(b *testing.B) {
-				p := checkpool.New(checkpool.Options{Workers: workers})
+				b.ReportAllocs()
 				nodes := 0
+				var stats core.Stats
 				for i := 0; i < b.N; i++ {
+					stats = core.Stats{}
+					p := checkpool.New(checkpool.Options{Workers: workers, Stats: &stats})
 					nodes = 0
 					for _, v := range p.CheckAll(hs) {
 						if v.Err != nil {
@@ -286,6 +300,7 @@ func BenchmarkCheckOpacityBatch(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(nodes), "nodes/corpus")
+				b.ReportMetric(float64(stats.States), "states-interned")
 			})
 		}
 	}

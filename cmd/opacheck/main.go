@@ -34,12 +34,20 @@
 //	opacheck -parallel 8 corpus.txt            # nodes= from the unified engine
 //	opacheck -parallel 8 -reference corpus.txt # nodes= from the reference
 //
-// A summary — including the total node count — goes to stderr. The exit
-// status is 1 if any line errored (parse failure, malformed history,
-// search-budget exhaustion), else 0; non-opaque is a verdict, not an
-// error. SIGINT/SIGTERM cancel the batch gracefully: already-admitted
-// histories still get their verdict lines, then the summary reports the
-// interruption and the exit status is 1.
+// A summary — including the total node count and, for the unified
+// engine, the interned-state and cache-hit counters of the per-worker
+// search contexts — goes to stderr. The exit status is 1 if any line
+// errored (parse failure, malformed history, search-budget exhaustion),
+// else 0; non-opaque is a verdict, not an error. SIGINT/SIGTERM cancel
+// the batch gracefully: already-admitted histories still get their
+// verdict lines, then the summary reports the interruption and the exit
+// status is 1.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (any
+// mode), for digging into checker hot paths:
+//
+//	opacheck -parallel 8 -cpuprofile cpu.out corpus.txt
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -50,6 +58,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -70,7 +80,11 @@ var demos = map[string]string{
 	"writers": "w1(x,1) w2(x,2) w1(y,1) w2(y,2) tryC1 C1 tryC2 C2 r3(x)->2 r3(y)->2 tryC3 C3",
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code, so the pprof teardown deferred below
+// executes before the process exits.
+func run() int {
 	counterObjs := flag.String("counter", "", "comma-separated object names to treat as counters (default: all registers)")
 	graph := flag.Bool("graph", false, "also run the Theorem 2 graph characterization (register histories, adds T0)")
 	explain := flag.Bool("explain", false, "for non-opaque histories, locate the violation and implicated transactions")
@@ -78,17 +92,49 @@ func main() {
 	parallel := flag.Int("parallel", 0, "batch mode: check histories from files/stdin with N concurrent workers")
 	maxNodes := flag.Int("maxnodes", 0, "batch mode: per-history search-node budget (0 = checker default)")
 	reference := flag.Bool("reference", false, "batch mode: use the per-completion reference engine instead of the unified search (for node-count comparisons)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opacheck: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "opacheck: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opacheck: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "opacheck: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *parallel > 0 {
 		if *graph || *explain || *demo != "" {
 			fmt.Fprintln(os.Stderr, "opacheck: -parallel is incompatible with -graph, -explain and -demo")
-			os.Exit(2)
+			return 2
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		code := runBatch(ctx, os.Stdout, *parallel, *maxNodes, *reference, *counterObjs, flag.Args())
 		stop()
-		os.Exit(code)
+		return code
 	}
 
 	var inputs []string
@@ -121,7 +167,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	os.Exit(exit)
+	return exit
 }
 
 // counterObjects builds the object environment implied by the -counter
@@ -143,6 +189,7 @@ func counterObjects(counterObjs string) spec.Objects {
 // SIGTERM) stops admission; verdicts for already-admitted histories are
 // still printed. It returns the process exit code.
 func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, reference bool, counterObjs string, paths []string) int {
+	var stats core.Stats
 	pool := checkpool.New(checkpool.Options{
 		Workers: workers,
 		Config: core.Config{
@@ -150,6 +197,7 @@ func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, referen
 			MaxNodes:    maxNodes,
 			DisableMemo: reference,
 		},
+		Stats: &stats,
 	})
 
 	in := make(chan checkpool.Item)
@@ -194,6 +242,10 @@ func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, referen
 	w.Flush()
 	fmt.Fprintf(os.Stderr, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors; %d search nodes\n",
 		opaque+nonOpaque+errored, opaque, nonOpaque, errored, totalNodes)
+	if !reference {
+		fmt.Fprintf(os.Stderr, "opacheck: contexts: %d states interned (%d object atoms), %d memo entries (%d hits), %d transitions cached (%d hits)\n",
+			stats.States, stats.Atoms, stats.MemoEntries, stats.MemoHits, stats.TransMisses, stats.TransHits)
+	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "opacheck: interrupted; remaining input skipped")
 		return 1

@@ -60,10 +60,19 @@ type Options struct {
 	Window int
 	// Config is the per-history checker configuration: object semantics
 	// and the search-node budget applied to each history independently.
+	// Config.Context is ignored: SearchContexts are single-goroutine, so
+	// the pool provisions one fresh context per worker instead, and each
+	// worker's interned states, cached transitions and memo entries are
+	// amortized across every history that worker checks.
 	Config core.Config
 	// Check overrides the checker (default core.Check with Config).
 	// Useful to batch-check other criteria, e.g. core.CheckStrong.
 	Check func(history.History, core.Config) (core.Result, error)
+	// Stats, when non-nil, accumulates the search-context statistics of
+	// every worker. It is written under the pool's lock as each worker
+	// retires and is safe to read once the verdict channel has closed
+	// (CheckAll and `for range Run(in)` both guarantee that).
+	Stats *core.Stats
 }
 
 func (o Options) withDefaults() Options {
@@ -159,18 +168,31 @@ func (p *Pool) RunContext(ctx context.Context, in <-chan Item) <-chan Verdict {
 		}
 	}()
 
-	// Workers: check admitted items.
+	// Workers: check admitted items. Each worker owns a SearchContext,
+	// so interning and caching amortize across its share of the batch
+	// without any cross-goroutine synchronization on the hot path.
 	var wg sync.WaitGroup
+	var statsMu sync.Mutex
 	wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go func() {
 			defer wg.Done()
+			cfg := opts.Config
+			cfg.Context = nil
+			if !cfg.DisableMemo {
+				cfg.Context = core.NewSearchContext()
+			}
 			for j := range work {
 				v := Verdict{Index: j.idx, Source: j.item.Source, Err: j.item.Err}
 				if v.Err == nil {
-					v.Result, v.Err = opts.Check(j.item.History, opts.Config)
+					v.Result, v.Err = opts.Check(j.item.History, cfg)
 				}
 				results <- v
+			}
+			if opts.Stats != nil && cfg.Context != nil {
+				statsMu.Lock()
+				opts.Stats.Add(cfg.Context.Stats())
+				statsMu.Unlock()
 			}
 		}()
 	}

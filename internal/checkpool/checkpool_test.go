@@ -141,6 +141,36 @@ func TestCustomCheckFunction(t *testing.T) {
 	}
 }
 
+// TestStatsAggregated: the pool sums the per-worker SearchContext
+// counters into Options.Stats, and the per-worker contexts do not
+// change any verdict relative to the reference engine.
+func TestStatsAggregated(t *testing.T) {
+	hs := corpus(64)
+	var stats core.Stats
+	p := New(Options{Workers: 4, Stats: &stats})
+	verdicts := p.CheckAll(hs)
+	for i, v := range verdicts {
+		want, err := core.Check(hs[i], core.Config{DisableMemo: true})
+		if err != nil {
+			t.Fatalf("history %d: %v", i, err)
+		}
+		if v.Err != nil || v.Result.Opaque != want.Opaque {
+			t.Fatalf("history %d: pool opaque=%v err=%v, reference %v", i, v.Result.Opaque, v.Err, want.Opaque)
+		}
+	}
+	if stats.States == 0 || stats.Atoms == 0 || stats.Problems == 0 {
+		t.Errorf("worker stats not aggregated: %+v", stats)
+	}
+
+	// The reference engine uses no contexts: stats must stay zero.
+	var refStats core.Stats
+	rp := New(Options{Workers: 2, Config: core.Config{DisableMemo: true}, Stats: &refStats})
+	rp.CheckAll(hs[:8])
+	if refStats != (core.Stats{}) {
+		t.Errorf("reference batch populated stats: %+v", refStats)
+	}
+}
+
 func TestEmptyInput(t *testing.T) {
 	in := make(chan Item)
 	close(in)

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// stateID identifies one interned object-state vector in a SearchContext:
+// the dense states of every registered object, indexed by registration
+// order. Two search nodes with equal stateIDs have identical object
+// states, so the id substitutes for the per-node state fingerprint the
+// memo and transition caches used to render as strings.
+type stateID = int32
+
+// Stats are the observability counters of a SearchContext. All counters
+// are cumulative over the context's lifetime (they survive internal table
+// flushes); Add makes them aggregatable across the per-worker contexts of
+// a batch run.
+type Stats struct {
+	// States is the number of distinct object-state vectors interned.
+	States int
+	// Atoms is the number of distinct single-object states interned.
+	Atoms int
+	// TxSigs is the number of distinct transaction replay signatures.
+	TxSigs int
+	// Problems is the number of distinct search problems the context has
+	// scoped memo entries by.
+	Problems int
+	// MemoEntries / MemoHits count failure-verdict insertions and lookup
+	// hits; TransHits / TransMisses count transition-cache outcomes (a
+	// miss replays the transaction, a hit is a map probe).
+	MemoEntries int
+	MemoHits    int
+	TransHits   int
+	TransMisses int
+	// Flushes counts the times the state-dependent tables were discarded
+	// because a history introduced objects unknown to the context.
+	Flushes int
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.States += o.States
+	s.Atoms += o.Atoms
+	s.TxSigs += o.TxSigs
+	s.Problems += o.Problems
+	s.MemoEntries += o.MemoEntries
+	s.MemoHits += o.MemoHits
+	s.TransHits += o.TransHits
+	s.TransMisses += o.TransMisses
+	s.Flushes += o.Flushes
+}
+
+// transKey keys the transition cache: replaying the transaction with
+// signature sig on the object states of state. The replay outcome is a
+// pure function of the two, so the cache is valid across search nodes,
+// completions, and separate checker calls sharing the context.
+type transKey struct {
+	state stateID
+	sig   int32
+}
+
+// transVal is a cached replay outcome: legal tells whether every
+// completed operation execution was accepted, next is the resulting
+// state (-1 when illegal).
+type transVal struct {
+	next  stateID
+	legal bool
+}
+
+// atomStep keys the single-object step cache: one operation execution
+// applied to one interned object state. Argument and return values are
+// comparable by the history model's contract, so they can key a map
+// directly. The cache is what keeps spec.State.Step — and the Key
+// rendering of its result — off the hot path even when whole-vector
+// transitions miss: two state vectors differing only in objects a
+// transaction does not touch replay it through identical atom steps.
+type atomStep struct {
+	atom int32
+	op   string
+	arg  history.Value
+	ret  history.Value
+}
+
+// atomStepVal is a cached step outcome (next is meaningless when the
+// step is illegal).
+type atomStepVal struct {
+	next  int32
+	legal bool
+}
+
+// memoKey keys the failure memo: search states are identified by the
+// scoping problem id, the interned object-state vector, the last placed
+// transaction (part of the key because the partial-order reduction
+// prunes successors relative to it) and the placed-transaction bitset,
+// inlined for histories of up to 128 transactions. Wider bitsets take
+// the string-keyed spill path (memoWide).
+type memoKey struct {
+	problem int32
+	state   stateID
+	last    int32
+	lo, hi  uint64
+}
+
+// SearchContext holds the interned-state tables of the serialization
+// search engine: the atom and state-vector interners, the transition
+// cache, and the failure memo. A fresh context is created internally for
+// every call that does not supply one; supplying one (Config.Context,
+// SerializeOptions.Context) reuses the tables across calls, which is
+// what makes the O(n) prefix scan of FirstNonOpaquePrefix, the
+// per-removed-transaction re-checks of Diagnose, and long batch runs
+// amortize their state exploration.
+//
+// Reuse is sound because every table is scoped by what it depends on:
+// atoms and state vectors are pure values; transitions are keyed by
+// (state, transaction replay signature); and memo entries are scoped by
+// a problem signature covering the transactions' replay signatures,
+// commit decisions, ordering constraints and initial states — two calls
+// share memo entries only when they pose structurally identical search
+// problems. Budget-truncated subtrees are never memoized (see
+// searcher.search), so a verdict cut short by MaxNodes can never be
+// replayed as a definitive failure by a later call.
+//
+// A SearchContext is not safe for concurrent use. Give each goroutine
+// its own; internal/checkpool provisions one per worker.
+type SearchContext struct {
+	atoms  *spec.Interner
+	defReg int32 // interned default object state (register 0)
+
+	objIdx map[history.ObjID]int32
+	objs   []history.ObjID
+
+	sigIdx   map[string]int32
+	vecIdx   map[string]stateID
+	vecs     [][]int32
+	trans    map[transKey]transVal
+	steps    map[atomStep]atomStepVal
+	memo     map[memoKey]struct{}
+	memoWide map[string]struct{}
+	problems map[string]int32
+
+	// initEmpty caches initialState(nil-or-empty Objects) — the common
+	// configuration — between registry growths; -1 means not cached.
+	initEmpty stateID
+
+	stats Stats
+
+	keyBuf []byte
+	vecBuf []int32
+	srch   searcher
+}
+
+// NewSearchContext returns an empty context ready to be shared across
+// checker calls on one goroutine.
+func NewSearchContext() *SearchContext {
+	c := &SearchContext{
+		atoms:    spec.NewInterner(),
+		objIdx:   make(map[history.ObjID]int32),
+		sigIdx:   make(map[string]int32),
+		vecIdx:   make(map[string]stateID),
+		trans:    make(map[transKey]transVal),
+		steps:    make(map[atomStep]atomStepVal),
+		memo:     make(map[memoKey]struct{}),
+		memoWide: make(map[string]struct{}),
+		problems: make(map[string]int32),
+	}
+	c.defReg = c.internAtom(spec.NewRegister(0))
+	c.initEmpty = -1
+	return c
+}
+
+// Stats returns a snapshot of the context's counters.
+func (c *SearchContext) Stats() Stats {
+	s := c.stats
+	s.Atoms = c.atoms.Len()
+	return s
+}
+
+// registerObjects adds any unseen objects to the context's registry.
+// State vectors are dense over the registry, so growing it invalidates
+// every interned vector and everything keyed by one: those tables are
+// flushed (the atom interner, the atom step cache and the replay
+// signatures survive — they reference atoms and objects by ids that
+// never change).
+func (c *SearchContext) registerObjects(ids []history.ObjID) {
+	grew := false
+	for _, id := range ids {
+		if _, ok := c.objIdx[id]; !ok {
+			c.objIdx[id] = int32(len(c.objs))
+			c.objs = append(c.objs, id)
+			grew = true
+		}
+	}
+	if grew {
+		c.initEmpty = -1
+		if len(c.vecs) > 0 {
+			c.flushStateTables()
+		}
+	}
+}
+
+// maxTableEntries bounds the total size of one context's tables — memo,
+// transitions, atom steps, replay signatures and interned atoms alike.
+// Long-lived contexts (a checkpool worker over a million-history batch
+// of diverse values) would otherwise grow without limit; crossing the
+// bound rebuilds the context's tables wholesale between calls — cheap
+// relative to the work they cached — and starts re-filling them.
+const maxTableEntries = 1 << 20
+
+// tableEntries is the size the bound applies to.
+func (c *SearchContext) tableEntries() int {
+	return len(c.memo) + len(c.memoWide) + len(c.trans) +
+		len(c.steps) + len(c.sigIdx) + c.atoms.Len()
+}
+
+// reset discards every table, including the flush-surviving ones
+// (atoms, atom steps, replay signatures, object registry), counting as
+// one flush in the stats.
+func (c *SearchContext) reset() {
+	c.atoms = spec.NewInterner()
+	c.steps = make(map[atomStep]atomStepVal)
+	c.sigIdx = make(map[string]int32)
+	c.objIdx = make(map[history.ObjID]int32)
+	c.objs = c.objs[:0]
+	c.defReg = c.internAtom(spec.NewRegister(0))
+	c.flushStateTables()
+}
+
+// flushStateTables discards every table keyed by (or holding) stateIDs.
+// The atom interner, the atom step cache and the replay signatures
+// survive: they are keyed by ids that remain valid.
+func (c *SearchContext) flushStateTables() {
+	c.vecIdx = make(map[string]stateID)
+	c.vecs = c.vecs[:0]
+	c.trans = make(map[transKey]transVal)
+	c.memo = make(map[memoKey]struct{})
+	c.memoWide = make(map[string]struct{})
+	c.problems = make(map[string]int32)
+	c.initEmpty = -1
+	c.stats.Flushes++
+}
+
+// internAtom interns one single-object state.
+func (c *SearchContext) internAtom(st spec.State) int32 {
+	return c.atoms.Intern(st)
+}
+
+// internVec interns the vector currently in vecBuf and returns its id.
+func (c *SearchContext) internVec() stateID {
+	buf := c.keyBuf[:0]
+	for _, a := range c.vecBuf {
+		buf = append(buf, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+	}
+	c.keyBuf = buf
+	if id, ok := c.vecIdx[string(buf)]; ok {
+		return id
+	}
+	id := stateID(len(c.vecs))
+	c.vecs = append(c.vecs, append([]int32(nil), c.vecBuf...))
+	c.vecIdx[string(buf)] = id
+	c.stats.States++
+	return id
+}
+
+// initialState interns the initial object-state vector implied by objs:
+// each registered object takes its state from objs, or the default
+// integer register initialized to 0 — the same default replayTx applies.
+func (c *SearchContext) initialState(objs spec.Objects) stateID {
+	if len(objs) == 0 {
+		if c.initEmpty >= 0 {
+			return c.initEmpty
+		}
+		c.vecBuf = c.vecBuf[:0]
+		for range c.objs {
+			c.vecBuf = append(c.vecBuf, c.defReg)
+		}
+		c.initEmpty = c.internVec()
+		return c.initEmpty
+	}
+	c.vecBuf = c.vecBuf[:0]
+	for _, id := range c.objs {
+		a := c.defReg
+		if st, ok := objs[id]; ok {
+			a = c.internAtom(st)
+		}
+		c.vecBuf = append(c.vecBuf, a)
+	}
+	return c.internVec()
+}
+
+// sigOf interns the replay signature of one transaction's operation
+// executions: the object (by registry index), operation, argument and
+// return value of every completed execution, in order. Pending
+// invocations are excluded — replay skips them. Two transactions with
+// equal signatures replay identically from any state, so the signature
+// is the transaction's identity in the transition cache and the problem
+// signature, and it is stable across calls (registry indices never
+// change).
+func (c *SearchContext) sigOf(execs []history.OpExec) int32 {
+	// Record layout per execution: [objIdx:4][len(op):4][op]
+	// [len(arg render):4][arg render][len(ret render):4][ret render].
+	// Every variable-length field is length-prefixed, so no operation
+	// name or value content — however crafted — can forge a field or
+	// record boundary and make two different executions render alike
+	// (the separator-injection hazard that also motivated the quoting
+	// in spec's State keys).
+	buf := c.keyBuf[:0]
+	for _, e := range execs {
+		if e.Pending {
+			continue
+		}
+		j := c.objIdx[e.Obj]
+		buf = append(buf, byte(j), byte(j>>8), byte(j>>16), byte(j>>24))
+		buf = appendFramed(buf, func(b []byte) []byte { return append(b, e.Op...) })
+		buf = appendFramed(buf, func(b []byte) []byte { return appendValue(b, e.Arg) })
+		buf = appendFramed(buf, func(b []byte) []byte { return appendValue(b, e.Ret) })
+	}
+	c.keyBuf = buf
+	if id, ok := c.sigIdx[string(buf)]; ok {
+		return id
+	}
+	id := int32(len(c.sigIdx))
+	c.sigIdx[string(buf)] = id
+	c.stats.TxSigs++
+	return id
+}
+
+// appendFramed appends a 4-byte little-endian length followed by the
+// bytes render produces, making the field self-delimiting regardless of
+// its content.
+func appendFramed(buf []byte, render func([]byte) []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = render(buf)
+	n := uint32(len(buf) - start - 4)
+	buf[start] = byte(n)
+	buf[start+1] = byte(n >> 8)
+	buf[start+2] = byte(n >> 16)
+	buf[start+3] = byte(n >> 24)
+	return buf
+}
+
+// appendValue renders one operation argument or return value into a
+// signature, tagged by type so that values whose renderings would
+// otherwise collide (int 1 vs string "1" vs the printed form of some
+// struct) stay distinct — they step specifications differently. Callers
+// frame the result by length (appendFramed), so the rendering itself
+// need not escape anything. The common history value types render
+// without fmt; everything else falls back to %T:%v.
+func appendValue(buf []byte, v history.Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, 'n')
+	case int:
+		buf = append(buf, 'i')
+		return strconv.AppendInt(buf, int64(x), 10)
+	case string:
+		buf = append(buf, 's')
+		return append(buf, x...)
+	case bool:
+		if x {
+			return append(buf, 'b', '1')
+		}
+		return append(buf, 'b', '0')
+	case int64:
+		buf = append(buf, 'l')
+		return strconv.AppendInt(buf, x, 10)
+	default:
+		return fmt.Appendf(buf, "T%T:%v", v, v)
+	}
+}
+
+// step replays the transaction with the given signature on state vid,
+// through the transition cache: each (state, signature) pair is replayed
+// at most once per context, not once per (search node, candidate) pair.
+func (c *SearchContext) step(vid stateID, sig int32, execs []history.OpExec) (stateID, bool) {
+	k := transKey{state: vid, sig: sig}
+	if v, ok := c.trans[k]; ok {
+		c.stats.TransHits++
+		return v.next, v.legal
+	}
+	c.stats.TransMisses++
+	c.vecBuf = append(c.vecBuf[:0], c.vecs[vid]...)
+	changed := false
+	v := transVal{next: -1, legal: true}
+	for _, e := range execs {
+		if e.Pending {
+			continue
+		}
+		j := c.objIdx[e.Obj]
+		a, ok := c.stepAtom(c.vecBuf[j], e)
+		if !ok {
+			v.legal = false
+			break
+		}
+		if a != c.vecBuf[j] {
+			c.vecBuf[j] = a
+			changed = true
+		}
+	}
+	if v.legal {
+		if changed {
+			v.next = c.internVec()
+		} else {
+			v.next = vid
+		}
+	}
+	c.trans[k] = v
+	return v.next, v.legal
+}
+
+// stepAtom applies one completed operation execution to one interned
+// object state, through the atom step cache: each (state, operation,
+// argument, return) combination calls spec.State.Step — and pays the
+// Key rendering of the result — once per context lifetime.
+func (c *SearchContext) stepAtom(atom int32, e history.OpExec) (int32, bool) {
+	k := atomStep{atom: atom, op: e.Op, arg: e.Arg, ret: e.Ret}
+	if v, ok := c.steps[k]; ok {
+		return v.next, v.legal
+	}
+	next, ok := c.atoms.State(atom).Step(e.Op, e.Arg, e.Ret)
+	v := atomStepVal{next: -1, legal: ok}
+	if ok {
+		v.next = c.internAtom(next)
+	}
+	c.steps[k] = v
+	return v.next, v.legal
+}
+
+// problemOf interns the signature of one search problem: the number of
+// transactions, the initial state, and per transaction (in placement-
+// index order) its replay signature, commit decision and predecessor
+// bitset. Memo entries are scoped by the resulting id, so two calls
+// share them exactly when they pose the same search problem — the
+// transaction ids themselves are irrelevant to failure verdicts and do
+// not participate. Footprints (and with them the partial-order
+// reduction) are a function of the replay signatures, so they need no
+// separate representation.
+func (c *SearchContext) problemOf(init stateID, sigs []int32, decide []Decision, preds []bitset) int32 {
+	buf := c.keyBuf[:0]
+	n := uint32(len(sigs))
+	buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	buf = append(buf, byte(init), byte(init>>8), byte(init>>16), byte(init>>24))
+	for i := range sigs {
+		s := sigs[i]
+		buf = append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24), byte(decide[i]))
+		buf = preds[i].appendKey(buf)
+	}
+	c.keyBuf = buf
+	if id, ok := c.problems[string(buf)]; ok {
+		return id
+	}
+	id := int32(len(c.problems))
+	c.problems[string(buf)] = id
+	c.stats.Problems++
+	return id
+}
+
+// memoIndex builds the inline memo key for placed bitsets of at most two
+// words; ok is false when the bitset is wider and the spill path applies.
+func memoIndex(problem int32, placed bitset, last int, vid stateID) (memoKey, bool) {
+	if len(placed) > 2 {
+		return memoKey{}, false
+	}
+	k := memoKey{problem: problem, state: vid, last: int32(last), lo: placed[0]}
+	if len(placed) == 2 {
+		k.hi = placed[1]
+	}
+	return k, true
+}
+
+// wideKey renders the spill memo key for >128-transaction histories.
+func (c *SearchContext) wideKey(problem int32, placed bitset, last int, vid stateID) []byte {
+	buf := c.keyBuf[:0]
+	buf = append(buf, byte(problem), byte(problem>>8), byte(problem>>16), byte(problem>>24))
+	buf = append(buf, byte(vid), byte(vid>>8), byte(vid>>16), byte(vid>>24))
+	u := uint32(last + 1)
+	buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	buf = placed.appendKey(buf)
+	c.keyBuf = buf
+	return buf
+}
+
+// memoHas reports whether the search state was recorded as a definitive
+// failure.
+func (c *SearchContext) memoHas(problem int32, placed bitset, last int, vid stateID) bool {
+	var ok bool
+	if k, inline := memoIndex(problem, placed, last, vid); inline {
+		_, ok = c.memo[k]
+	} else {
+		_, ok = c.memoWide[string(c.wideKey(problem, placed, last, vid))]
+	}
+	if ok {
+		c.stats.MemoHits++
+	}
+	return ok
+}
+
+// memoInsert records the search state as a definitive failure. Callers
+// must never insert a state whose subtree was truncated by the node
+// budget: with contexts shared across calls, a truncated verdict
+// replayed as a failure would be unsound.
+func (c *SearchContext) memoInsert(problem int32, placed bitset, last int, vid stateID) {
+	if k, inline := memoIndex(problem, placed, last, vid); inline {
+		c.memo[k] = struct{}{}
+	} else {
+		c.memoWide[string(c.wideKey(problem, placed, last, vid))] = struct{}{}
+	}
+	c.stats.MemoEntries++
+}

@@ -24,6 +24,11 @@ type Diagnosis struct {
 	// conflict. It may be empty when no single transaction is
 	// responsible.
 	Implicated []history.TxID
+	// Nodes is the total number of search nodes explored across every
+	// internal check: the prefix scan plus one re-check per removed
+	// transaction. All of them share one SearchContext, so the total is
+	// directly comparable to running the same checks with cold tables.
+	Nodes int
 }
 
 // String renders the diagnosis for humans.
@@ -56,19 +61,27 @@ func RemoveTx(h history.History, tx history.TxID) history.History {
 
 // Diagnose locates the first non-opaque prefix of h and identifies the
 // implicated transactions. It returns an error for malformed histories
-// or search exhaustion.
+// or search exhaustion. Every internal check — the prefix scan and the
+// per-removed-transaction re-checks — runs on one shared SearchContext
+// (cfg.Context if supplied), so the interned states and cached
+// transitions of the scan are reused when each candidate transaction is
+// removed; Diagnosis.Nodes makes the total cost observable.
 func Diagnose(h history.History, cfg Config) (Diagnosis, error) {
-	n, err := FirstNonOpaquePrefix(h, cfg)
+	if cfg.Context == nil && !cfg.DisableMemo {
+		cfg.Context = NewSearchContext()
+	}
+	n, nodes, err := firstNonOpaquePrefix(h, cfg)
 	if err != nil {
-		return Diagnosis{}, err
+		return Diagnosis{Nodes: nodes}, err
 	}
 	if n == -1 {
-		return Diagnosis{Opaque: true, PrefixLen: -1}, nil
+		return Diagnosis{Opaque: true, PrefixLen: -1, Nodes: nodes}, nil
 	}
-	d := Diagnosis{PrefixLen: n, Culprit: h[n-1]}
+	d := Diagnosis{PrefixLen: n, Culprit: h[n-1], Nodes: nodes}
 	prefix := h[:n]
 	for _, tx := range prefix.Transactions() {
 		r, err := Check(RemoveTx(prefix, tx), cfg)
+		d.Nodes += r.Nodes
 		if err != nil {
 			return d, fmt.Errorf("diagnosing without T%d: %w", int(tx), err)
 		}

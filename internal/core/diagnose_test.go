@@ -34,6 +34,34 @@ func TestDiagnoseFigure1(t *testing.T) {
 	}
 }
 
+// TestDiagnoseNodesAccounted: Diagnose reports the total search cost of
+// its internal checks, and a caller-supplied context is actually used
+// (its tables are populated by the run).
+func TestDiagnoseNodesAccounted(t *testing.T) {
+	ctx := NewSearchContext()
+	d, err := Diagnose(figure1(), Config{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Opaque {
+		t.Fatal("H1 is not opaque")
+	}
+	if d.Nodes <= 0 {
+		t.Errorf("Diagnosis.Nodes = %d, want > 0 (prefix scan plus per-transaction re-checks)", d.Nodes)
+	}
+	if s := ctx.Stats(); s.States == 0 || s.Problems == 0 {
+		t.Errorf("supplied context not used by Diagnose: %+v", s)
+	}
+	// The opaque path reports cost too.
+	d2, err := Diagnose(figure2(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Opaque || d2.Nodes <= 0 {
+		t.Errorf("opaque diagnosis: %+v, want Opaque with Nodes > 0", d2)
+	}
+}
+
 func TestDiagnoseOpaque(t *testing.T) {
 	d, err := Diagnose(figure2(), Config{})
 	if err != nil {

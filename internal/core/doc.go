@@ -21,29 +21,55 @@
 //     commit-pending transaction is decided lazily, as a branch taken
 //     when the transaction is placed in the serialization (commit makes
 //     its effects visible to later placements; abort leaves no trace).
-//     One memo table — failure verdicts keyed by (placed-transaction
-//     set, object-state fingerprint, last placement) — and one node
-//     budget therefore serve the entire verdict, and search prefixes
-//     shared between completions are explored once. A partial-order
-//     reduction prunes placements further: when adjacent placements
-//     commute (the transactions have disjoint completed-operation
-//     footprints, so neither's legality nor resulting states can depend
-//     on the other), only the canonical order is explored; each
-//     equivalence class of serializations keeps its lexicographically
-//     least member, so no witness is lost. On success Opaque returns a
-//     Witness — the completion assembled from the chosen fates, the
-//     serialization order, and the sequential history S they induce; the
-//     Nodes count of every Result measures the search, making the
-//     reduction observable (see `opacheck -parallel`'s nodes= output and
-//     BenchmarkCheckOpacityBatch's nodes/corpus metric). Deciding
-//     opacity is NP-hard in general (it subsumes view-serializability),
-//     so the procedure is exponential in the worst case; the pruning
-//     makes it fast on the history sizes produced by tests, fuzzing and
-//     recorded STM runs. The pre-unification engine — completions as an
-//     outer loop, an un-memoized backtracking search per completion —
-//     survives behind Config.DisableMemo as the reference the unified
-//     engine is differentially tested and fuzzed against
-//     (FuzzCheckOpacityDiff, search_diff_test.go).
+//     One memo table and one node budget therefore serve the entire
+//     verdict, and search prefixes shared between completions are
+//     explored once. A partial-order reduction prunes placements
+//     further: when adjacent placements commute (the transactions have
+//     disjoint completed-operation footprints, so neither's legality nor
+//     resulting states can depend on the other), only the canonical
+//     order is explored; each equivalence class of serializations keeps
+//     its lexicographically least member, so no witness is lost.
+//
+//     The engine's hot path runs entirely on interned state
+//     (SearchContext). Per-object states are interned to small integers
+//     by their spec.State.Key fingerprint, and each search node's full
+//     object configuration is a dense vector of those atoms, itself
+//     interned to a stateID — so comparing or hashing a search state is
+//     word arithmetic, never string building. Replaying a transaction is
+//     cached twice over: a transition cache maps (stateID, transaction
+//     replay signature) to the resulting stateID, so each transaction is
+//     replayed at most once per distinct state rather than once per
+//     (node, candidate) pair, and an atom-level step cache makes even
+//     those replays skip spec.State.Step for operations it has applied
+//     to the same object state before. Failure verdicts are memoized
+//     under a fixed-size comparable key — (problem signature,
+//     placed-transaction bitset, last placement, stateID) — where the
+//     problem signature scopes entries to structurally identical search
+//     problems, making one context safely reusable across calls:
+//     FirstNonOpaquePrefix threads a single SearchContext through its
+//     prefix scan, Diagnose shares one across the scan and every
+//     per-removed-transaction re-check, and internal/checkpool gives
+//     each worker its own for the whole batch. Subtrees truncated by the
+//     node budget propagate a distinct status and are never memoized, so
+//     a budget-starved verdict can never be replayed as a definitive
+//     failure by a later call.
+//
+//     On success Opaque returns a Witness — the completion assembled
+//     from the chosen fates, the serialization order, and the sequential
+//     history S they induce; the Nodes count of every Result measures
+//     the search, and SearchContext.Stats exposes the interning and
+//     cache counters (see `opacheck -parallel`'s summary and
+//     BenchmarkCheckOpacityBatch's nodes/corpus and states-interned
+//     metrics). Deciding opacity is NP-hard in general (it subsumes
+//     view-serializability), so the procedure is exponential in the
+//     worst case; the pruning makes it fast on the history sizes
+//     produced by tests, fuzzing and recorded STM runs. The
+//     pre-unification engine — completions as an outer loop, an
+//     un-memoized, un-interned backtracking search per completion on
+//     copy-on-write object maps — survives behind Config.DisableMemo as
+//     the independent reference the unified engine is differentially
+//     tested and fuzzed against (FuzzCheckOpacityDiff,
+//     search_diff_test.go, context_test.go).
 //
 //   - FirstNonOpaquePrefix, an "online" view: TM histories are generated
 //     progressively and every prefix observed by the application must

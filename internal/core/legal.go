@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"otm/internal/history"
 	"otm/internal/spec"
@@ -93,21 +92,47 @@ func AllLegal(s history.History, objs spec.Objects) (history.TxID, bool) {
 	return 0, true
 }
 
-// sortedObjects returns the object ids of h in sorted order.
-func sortedObjects(h history.History) []history.ObjID {
-	ids := h.Objects()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
 // buildSequential concatenates the per-transaction projections of hc in
-// the given order, producing the sequential history S of a witness.
+// the given order, producing the sequential history S of a witness. One
+// counting pass and one fill pass over hc replace the per-transaction
+// H|Ti projections (which made witness assembly quadratic and the
+// dominant allocation source of batch checking once the search itself
+// was interned).
 func buildSequential(hc history.History, order []history.TxID) history.History {
-	var s history.History
-	for _, tx := range order {
-		s = append(s, hc.Sub(tx)...)
+	n := len(order)
+	ints := make([]int, 2*n) // slot cursor and slot base per transaction
+	offs, fill := ints[:n], ints[n:]
+	for _, e := range hc {
+		if i := indexOf(order, e.Tx); i >= 0 {
+			fill[i]++ // first pass: counts
+		}
+	}
+	total := 0
+	for i, c := range fill {
+		offs[i] = total
+		total += c
+		fill[i] = 0
+	}
+	s := make(history.History, total)
+	for _, e := range hc {
+		if i := indexOf(order, e.Tx); i >= 0 {
+			s[offs[i]+fill[i]] = e
+			fill[i]++
+		}
 	}
 	return s
+}
+
+// indexOf returns the position of tx in txs, or -1 — the checker-side
+// twin of history's linear transaction lookup (transaction counts on the
+// hot path are small; maps cost more than the scan).
+func indexOf(txs []history.TxID, tx history.TxID) int {
+	for i, t := range txs {
+		if t == tx {
+			return i
+		}
+	}
+	return -1
 }
 
 func txIndex(txs []history.TxID) map[history.TxID]int {

@@ -51,6 +51,13 @@ type Config struct {
 	// covers the whole verdict: one unified search for the default
 	// engine, the sum over completions for the reference engine.
 	MaxNodes int
+	// Context supplies the interned-state tables of the search engine.
+	// nil means a fresh context per call; passing one amortizes state
+	// interning, transition caching and (for structurally identical
+	// problems) the failure memo across calls. Contexts are
+	// single-goroutine; see SearchContext. Ignored when DisableMemo is
+	// set.
+	Context *SearchContext
 	// DisableMemo runs the reference decision procedure instead of the
 	// unified engine: completions are enumerated as an outer loop (2^k
 	// for k commit-pending transactions) and each runs an un-memoized
@@ -106,13 +113,12 @@ func check(h history.History, cfg Config, extraPreds [][2]history.TxID) (Result,
 		maxNodes = defaultMaxNodes
 	}
 
-	// ≺H is the real-time order of the *original* history h: Definition 1
-	// requires S to preserve the real-time order of H, not of the
-	// completion.
-	preds := h.RealTimeOrder()
-	preds = append(preds, extraPreds...)
-
 	if cfg.DisableMemo {
+		// ≺H is the real-time order of the *original* history h:
+		// Definition 1 requires S to preserve the real-time order of H,
+		// not of the completion.
+		preds := h.RealTimeOrderOf(txs)
+		preds = append(preds, extraPreds...)
 		return checkPerCompletion(h, cfg, txs, preds, maxNodes)
 	}
 
@@ -132,10 +138,15 @@ func check(h history.History, cfg Config, extraPreds [][2]history.TxID) (Result,
 				return DecideAborted
 			}
 		},
-		Preds:    preds,
+		Preds: extraPreds,
+		// ≺H of the original h, derived from spans inside the searcher
+		// (Definition 1 preserves the real-time order of H, not of the
+		// completion).
+		RealTime: h,
 		Objects:  cfg.Objects,
 		MaxNodes: maxNodes,
 		Nodes:    &res.Nodes,
+		Context:  cfg.Context,
 	})
 	if err != nil {
 		return res, err
@@ -221,19 +232,34 @@ func IsOpaque(h history.History, objs spec.Objects) bool {
 // can observe must be opaque; this is the "online" view of opacity used
 // to validate recorded STM runs. Prefixes are checked at response-event
 // boundaries (an invocation alone cannot create a violation that its
-// response does not).
+// response does not). The O(n) prefix checks share one SearchContext
+// (cfg.Context if supplied, a private one otherwise), so the object
+// states and transitions interned while checking one prefix are reused
+// by every longer prefix.
 func FirstNonOpaquePrefix(h history.History, cfg Config) (int, error) {
+	n, _, err := firstNonOpaquePrefix(h, cfg)
+	return n, err
+}
+
+// firstNonOpaquePrefix is FirstNonOpaquePrefix plus the total node count
+// across the prefix scan, for Diagnose's cost accounting.
+func firstNonOpaquePrefix(h history.History, cfg Config) (int, int, error) {
+	if cfg.Context == nil && !cfg.DisableMemo {
+		cfg.Context = NewSearchContext()
+	}
+	nodes := 0
 	for i := 1; i <= len(h); i++ {
 		if i < len(h) && h[i-1].Kind.Invocation() {
 			continue
 		}
 		r, err := Check(h[:i], cfg)
+		nodes += r.Nodes
 		if err != nil {
-			return 0, fmt.Errorf("prefix of length %d: %w", i, err)
+			return 0, nodes, fmt.Errorf("prefix of length %d: %w", i, err)
 		}
 		if !r.Opaque {
-			return i, nil
+			return i, nodes, nil
 		}
 	}
-	return -1, nil
+	return -1, nodes, nil
 }

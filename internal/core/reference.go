@@ -1,0 +1,132 @@
+package core
+
+import (
+	"otm/internal/history"
+	"otm/internal/spec"
+)
+
+// refSearcher is the reference serialization engine preserved for
+// differential testing (SerializeOptions.DisableMemo): a plain
+// backtracking search that replays candidate transactions on
+// copy-on-write spec.Objects maps, with no state interning, no
+// memoization, no transition caching and no partial-order reduction. It
+// shares nothing with the interned engine beyond the bitset type and
+// replayTx, which is what makes agreement between the two engines
+// meaningful as a correctness oracle.
+type refSearcher struct {
+	n        int
+	txs      []history.TxID
+	execs    [][]history.OpExec
+	decide   []Decision
+	fate     []bool
+	preds    []bitset
+	maxNodes int
+	nodes    *int
+	order    []history.TxID
+}
+
+// search tries to extend the partial serialization; see searcher.search
+// for the shared conventions. Exceeding the node budget surfaces as a
+// plain failure here — findSerializationRef tells exhaustion from
+// failure by comparing the node counter against the budget afterwards.
+func (s *refSearcher) search(placed bitset, count int, states spec.Objects, last int) bool {
+	if *s.nodes >= s.maxNodes {
+		return false
+	}
+	*s.nodes++
+	if count == s.n {
+		return true
+	}
+	for i := 0; i < s.n; i++ {
+		if placed.has(i) || !placed.covers(s.preds[i]) {
+			continue
+		}
+		next, legal := replayTx(states, s.execs[i])
+		if !legal {
+			continue
+		}
+		s.order = append(s.order, s.txs[i])
+		placed.set(i)
+		found := false
+		switch s.decide[i] {
+		case DecideCommitted:
+			s.fate[i] = true
+			found = s.search(placed, count+1, next, i)
+		case DecideAborted:
+			s.fate[i] = false
+			found = s.search(placed, count+1, states, i)
+		case DecideBranch:
+			s.fate[i] = false
+			found = s.search(placed, count+1, states, i)
+			if !found {
+				s.fate[i] = true
+				found = s.search(placed, count+1, next, i)
+			}
+		}
+		if found {
+			return true
+		}
+		placed.clear(i)
+		s.order = s.order[:len(s.order)-1]
+	}
+	return false
+}
+
+// findSerializationRef is FindSerialization on the reference engine.
+func findSerializationRef(o SerializeOptions, maxNodes int, nodes *int) (*Serialization, error) {
+	n := len(o.Txs)
+	idx := txIndex(o.Txs)
+	preds := make([]bitset, n)
+	for i := range preds {
+		preds[i] = newBitset(n)
+	}
+	pairs := o.Preds
+	if o.RealTime != nil {
+		pairs = append(o.RealTime.RealTimeOrderOf(o.Txs), pairs...)
+	}
+	for _, p := range pairs {
+		i, oki := idx[p[0]]
+		j, okj := idx[p[1]]
+		if oki && okj {
+			preds[j].set(i)
+		}
+	}
+
+	s := &refSearcher{
+		n:        n,
+		txs:      o.Txs,
+		execs:    make([][]history.OpExec, n),
+		decide:   make([]Decision, n),
+		fate:     make([]bool, n),
+		preds:    preds,
+		maxNodes: maxNodes,
+		nodes:    nodes,
+		order:    make([]history.TxID, 0, n),
+	}
+	for i, tx := range o.Txs {
+		s.execs[i] = o.Source.OpExecs(tx)
+		s.decide[i] = o.Decide(tx)
+	}
+
+	baseObjs := o.Objects
+	if baseObjs == nil {
+		baseObjs = spec.Objects{}
+	}
+
+	if s.search(newBitset(n), 0, baseObjs, -1) {
+		ser := &Serialization{Order: append([]history.TxID(nil), s.order...)}
+		for i, tx := range o.Txs {
+			if s.decide[i] == DecideBranch {
+				if ser.Commits == nil {
+					ser.Commits = make(map[history.TxID]bool)
+				}
+				ser.Commits[tx] = s.fate[i]
+			}
+		}
+		return ser, nil
+	}
+	if *nodes >= maxNodes {
+		return nil, ErrSearchLimit
+	}
+	return nil, nil
+}

@@ -45,6 +45,13 @@ type SerializeOptions struct {
 	// serialized before b. Pairs mentioning transactions outside Txs are
 	// ignored.
 	Preds [][2]history.TxID
+	// RealTime, when non-nil, additionally constrains the order by the
+	// real-time order ≺ of this history restricted to Txs (a completed
+	// transaction precedes every transaction whose first event follows
+	// its last). The searcher derives the constraint bitsets straight
+	// from the transaction spans, so hot callers avoid materializing
+	// the quadratic pair list of History.RealTimeOrder.
+	RealTime history.History
 	// Objects are the initial object states; nil entries default to
 	// integer registers initialized to 0.
 	Objects spec.Objects
@@ -52,11 +59,18 @@ type SerializeOptions struct {
 	// node count across calls when non-nil.
 	MaxNodes int
 	Nodes    *int
-	// DisableMemo turns off both the (placed-set, object-state, last)
-	// verdict cache and the commutativity-based partial-order reduction,
-	// running the plain backtracking search. It exists as the reference
-	// implementation for differential testing of the memoized engine and
-	// should not be set on production paths.
+	// Context supplies the interned-state tables (state interner,
+	// transition cache, failure memo) the search runs on. nil means a
+	// fresh context for this call; passing one reuses the tables across
+	// calls — see SearchContext for why that is sound. Ignored by the
+	// DisableMemo reference engine.
+	Context *SearchContext
+	// DisableMemo runs the reference engine instead: the plain
+	// backtracking search on copy-on-write spec.Objects maps, with no
+	// interning, no memoization and no partial-order reduction. It exists
+	// as the independent implementation the interned engine is
+	// differentially tested against and should not be set on production
+	// paths.
 	DisableMemo bool
 }
 
@@ -71,51 +85,178 @@ type Serialization struct {
 	Commits map[history.TxID]bool
 }
 
-// searcher is the memoized serialization engine. One instance serves one
-// FindSerialization call: the memo table caches failure verdicts keyed by
-// (placed-transaction bitset, object-state fingerprint, last placed
-// transaction), so isomorphic search prefixes — different placement
-// orders and different commit/abort fate assignments reaching the same
-// set of placed transactions and the same object states — are explored
-// once. The last placed transaction is part of the key because the
-// partial-order reduction prunes successors relative to it.
+// outcome is the tri-state result of one search subtree. Distinguishing
+// outTruncated from outFailed is what keeps a shared memo sound: a
+// subtree cut short by the node budget proves nothing about the state it
+// hangs from, so truncation propagates to the root without a memo insert,
+// and a later call with budget to spare re-explores the state.
+type outcome int8
+
+const (
+	outFailed outcome = iota
+	outFound
+	outTruncated
+)
+
+// searcher is the interned-state serialization engine. One instance
+// serves one FindSerialization call, but the tables it searches over
+// live in the SearchContext and persist across calls: object states are
+// interned to stateIDs (vector comparison is word equality, not string
+// building), each transaction's replay is cached per distinct state, and
+// failure verdicts are memoized under a fixed-size comparable key of
+// (problem, placed bitset, last placement, stateID). Isomorphic search
+// prefixes — different placement orders and different commit/abort fate
+// assignments reaching the same placed set and object states — are
+// explored once; the last placed transaction is part of the key because
+// the partial-order reduction prunes successors relative to it.
 type searcher struct {
-	n        int
-	txs      []history.TxID
-	execs    [][]history.OpExec
-	decide   []Decision
-	fate     []bool // chosen fate per placed transaction (branch txs)
-	preds    []bitset
-	foot     []bitset // per-transaction object footprint (bit per object)
-	objIDs   []history.ObjID
+	ctx    *SearchContext
+	active bool
+
+	n       int
+	txs     []history.TxID
+	execs   [][]history.OpExec
+	sigs    []int32
+	decide  []Decision
+	fate    []bool // chosen fate per placed transaction (branch txs)
+	preds   []bitset
+	foot    []bitset // per-transaction object footprint (bit per object)
+	words   []uint64 // shared backing store of preds, foot and placed
+	spans   []int    // scratch: first/last event index per transaction
+	compl   []bool   // scratch: completed flag per transaction
+	placed  bitset
+	order   []history.TxID
+	init    stateID
+	problem int32
+
 	maxNodes int
 	nodes    *int
-	memo     map[string]struct{} // failed states; nil = memoization off
-	por      bool                // partial-order reduction on
-	keyBuf   []byte              // reused scratch for memo keys
-	order    []history.TxID
 }
 
-// stateKey renders the memo key for the current search state into the
-// reused scratch buffer: the raw words of the placed bitset, the index of
-// the last placed transaction, then the canonical fingerprint of every
-// object state.
-func (s *searcher) stateKey(placed bitset, states spec.Objects, last int) []byte {
-	buf := placed.appendKey(s.keyBuf[:0])
-	u := uint32(last + 1) // -1 (root) becomes 0
-	buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-	for _, id := range s.objIDs {
-		buf = append(buf, id...)
-		buf = append(buf, '=')
-		if st, ok := states[id]; ok {
-			buf = append(buf, st.Key()...)
-		} else {
-			buf = append(buf, '?')
-		}
-		buf = append(buf, ';')
+// grow returns s resized to n elements, reusing its backing array when
+// capacity allows. Contents are unspecified; callers overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	s.keyBuf = buf
-	return buf
+	return s[:n]
+}
+
+// setup prepares the searcher for one call, reusing the scratch slices
+// of previous calls on the same context.
+func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, nodes *int) {
+	n := len(o.Txs)
+	s.ctx = ctx
+	s.n = n
+	s.txs = o.Txs
+	s.maxNodes = maxNodes
+	s.nodes = nodes
+
+	// Between calls is the only safe point to bound the tables: nothing
+	// for this call has been interned yet.
+	if ctx.tableEntries() > maxTableEntries {
+		ctx.reset()
+	}
+
+	// Registry order only needs to be stable within the context — state
+	// vectors are never compared across contexts — so first-appearance
+	// order does fine and skips a sort per call.
+	ctx.registerObjects(o.Source.Objects())
+
+	s.execs = o.Source.OpExecsFor(o.Txs)
+	s.sigs = grow(s.sigs, n)
+	s.decide = grow(s.decide, n)
+	s.fate = grow(s.fate, n)
+	for i, tx := range o.Txs {
+		s.sigs[i] = ctx.sigOf(s.execs[i])
+		s.decide[i] = o.Decide(tx)
+	}
+
+	// preds, foot and placed share one zeroed word block.
+	tw := (n + 63) / 64
+	ow := (len(ctx.objs) + 63) / 64
+	s.words = grow(s.words, n*tw+n*ow+tw)
+	clear(s.words)
+	s.preds = grow(s.preds, n)
+	s.foot = grow(s.foot, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		s.preds[i] = bitset(s.words[off : off+tw])
+		off += tw
+	}
+	for i := 0; i < n; i++ {
+		s.foot[i] = bitset(s.words[off : off+ow])
+		off += ow
+		for _, e := range s.execs[i] {
+			if !e.Pending {
+				s.foot[i].set(int(ctx.objIdx[e.Obj]))
+			}
+		}
+	}
+	s.placed = bitset(s.words[off : off+tw])
+
+	for _, p := range o.Preds {
+		i := indexOf(o.Txs, p[0])
+		j := indexOf(o.Txs, p[1])
+		if i >= 0 && j >= 0 {
+			s.preds[j].set(i)
+		}
+	}
+	if o.RealTime != nil {
+		s.addRealTimePreds(o.RealTime)
+	}
+
+	if cap(s.order) < n {
+		s.order = make([]history.TxID, 0, n)
+	} else {
+		s.order = s.order[:0]
+	}
+
+	// A nil Objects map reads like an empty one, so no defaulting
+	// allocation is needed.
+	s.init = ctx.initialState(o.Objects)
+	s.problem = ctx.problemOf(s.init, s.sigs, s.decide, s.preds)
+}
+
+// addRealTimePreds sets the predecessor bits induced by the real-time
+// order of src over s.txs: one event scan computes each transaction's
+// span and whether it completed (last event commit or abort), and a
+// completed transaction precedes exactly the transactions whose span
+// starts after its ends.
+func (s *searcher) addRealTimePreds(src history.History) {
+	n := s.n
+	s.spans = grow(s.spans, 2*n)
+	first, last := s.spans[:n], s.spans[n:]
+	for i := range first {
+		first[i] = -1
+		last[i] = -1
+	}
+	s.compl = grow(s.compl, n)
+	completed := s.compl
+	for i := range completed {
+		completed[i] = false
+	}
+	for hi, e := range src {
+		j := indexOf(s.txs, e.Tx)
+		if j < 0 {
+			continue
+		}
+		if first[j] < 0 {
+			first[j] = hi
+		}
+		last[j] = hi
+		completed[j] = e.Kind == history.KindCommit || e.Kind == history.KindAbort
+	}
+	for i := 0; i < n; i++ {
+		if !completed[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i != j && first[j] > last[i] {
+				s.preds[j].set(i)
+			}
+		}
+	}
 }
 
 // prunable implements the partial-order reduction: placing candidate i
@@ -130,72 +271,73 @@ func (s *searcher) stateKey(placed bitset, states spec.Objects, last int) []byte
 // retains its lexicographically least member, which passes this test at
 // every step, so pruning the rest never loses a witness.
 func (s *searcher) prunable(i, last int) bool {
-	return s.por && last >= 0 && i < last &&
+	return last >= 0 && i < last &&
 		!s.preds[i].has(last) &&
 		!s.foot[i].intersects(s.foot[last])
 }
 
 // search tries to extend the partial serialization. placed is mutated in
 // place (set before recursing, cleared on backtrack); count is the number
-// of placed transactions; last is the index of the most recently placed
-// transaction (-1 at the root). On success the winning bits stay set and
-// s.order / s.fate hold the full serialization and fate assignment.
-func (s *searcher) search(placed bitset, count int, states spec.Objects, last int) bool {
+// of placed transactions; vid is the interned object-state vector
+// produced by the committed transactions placed so far; last is the index
+// of the most recently placed transaction (-1 at the root). On outFound
+// the winning bits stay set and s.order / s.fate hold the full
+// serialization and fate assignment. A state is memoized as failed only
+// when its whole subtree was explored within the node budget; a truncated
+// subtree yields outTruncated, which propagates without memoization.
+func (s *searcher) search(placed bitset, count int, vid stateID, last int) outcome {
 	if *s.nodes >= s.maxNodes {
-		return false
+		return outTruncated
 	}
 	*s.nodes++
 	if count == s.n {
-		return true
+		return outFound
 	}
-	var key []byte
-	if s.memo != nil {
-		key = s.stateKey(placed, states, last)
-		if _, failed := s.memo[string(key)]; failed {
-			return false
-		}
+	if s.ctx.memoHas(s.problem, placed, last, vid) {
+		return outFailed
 	}
 	for i := 0; i < s.n; i++ {
 		if placed.has(i) || !placed.covers(s.preds[i]) || s.prunable(i, last) {
 			continue
 		}
-		next, legal := replayTx(states, s.execs[i])
+		next, legal := s.ctx.step(vid, s.sigs[i], s.execs[i])
 		if !legal {
 			continue
 		}
 		s.order = append(s.order, s.txs[i])
 		placed.set(i)
-		found := false
+		var out outcome
 		switch s.decide[i] {
 		case DecideCommitted:
 			s.fate[i] = true
-			found = s.search(placed, count+1, next, i)
+			out = s.search(placed, count+1, next, i)
 		case DecideAborted:
 			s.fate[i] = false
-			found = s.search(placed, count+1, states, i)
+			out = s.search(placed, count+1, vid, i)
 		case DecideBranch:
 			// Abort first: it keeps the object states unchanged, matching
 			// the reference engine's enumeration order (completion mask 0
 			// aborts every commit-pending transaction).
 			s.fate[i] = false
-			found = s.search(placed, count+1, states, i)
-			if !found {
+			out = s.search(placed, count+1, vid, i)
+			if out == outFailed {
 				s.fate[i] = true
-				found = s.search(placed, count+1, next, i)
+				out = s.search(placed, count+1, next, i)
 			}
 		}
-		if found {
-			return true
+		if out == outFound {
+			return outFound
 		}
 		placed.clear(i)
 		s.order = s.order[:len(s.order)-1]
+		if out == outTruncated {
+			// The budget is global, so every remaining candidate would
+			// truncate too; bail without memoizing this state.
+			return outTruncated
+		}
 	}
-	if s.memo != nil {
-		// key was rendered into the shared scratch buffer before the
-		// recursive calls overwrote it; re-render for the insert.
-		s.memo[string(s.stateKey(placed, states, last))] = struct{}{}
-	}
-	return false
+	s.ctx.memoInsert(s.problem, placed, last, vid)
+	return outFailed
 }
 
 // FindSerialization searches for an order of o.Txs such that every
@@ -220,47 +362,27 @@ func FindSerialization(o SerializeOptions) (*Serialization, error) {
 		nodes = &localNodes
 	}
 
-	idx := txIndex(o.Txs)
-	preds := make([]bitset, n)
-	for i := range preds {
-		preds[i] = newBitset(n)
-	}
-	for _, p := range o.Preds {
-		i, oki := idx[p[0]]
-		j, okj := idx[p[1]]
-		if oki && okj {
-			preds[j].set(i)
-		}
+	if o.DisableMemo {
+		return findSerializationRef(o, maxNodes, nodes)
 	}
 
-	s := &searcher{
-		n:        n,
-		txs:      o.Txs,
-		execs:    make([][]history.OpExec, n),
-		decide:   make([]Decision, n),
-		fate:     make([]bool, n),
-		preds:    preds,
-		objIDs:   sortedObjects(o.Source),
-		maxNodes: maxNodes,
-		nodes:    nodes,
-		order:    make([]history.TxID, 0, n),
+	ctx := o.Context
+	if ctx == nil {
+		ctx = NewSearchContext()
 	}
-	for i, tx := range o.Txs {
-		s.execs[i] = o.Source.OpExecs(tx)
-		s.decide[i] = o.Decide(tx)
+	// Reuse the context's resident searcher unless a call is already
+	// active on it (re-entrancy through a Decide callback would be the
+	// only path; none exists today, but correctness is cheap).
+	s := &ctx.srch
+	if s.active {
+		s = &searcher{}
 	}
-	if !o.DisableMemo {
-		s.memo = make(map[string]struct{})
-		s.por = true
-		s.foot = footprints(o.Source, o.Txs, s.objIDs)
-	}
+	s.active = true
+	defer func() { s.active = false }()
+	s.setup(ctx, o, maxNodes, nodes)
 
-	baseObjs := o.Objects
-	if baseObjs == nil {
-		baseObjs = spec.Objects{}
-	}
-
-	if s.search(newBitset(n), 0, baseObjs, -1) {
+	switch s.search(s.placed, 0, s.init, -1) {
+	case outFound:
 		ser := &Serialization{Order: append([]history.TxID(nil), s.order...)}
 		for i, tx := range o.Txs {
 			if s.decide[i] == DecideBranch {
@@ -271,29 +393,8 @@ func FindSerialization(o SerializeOptions) (*Serialization, error) {
 			}
 		}
 		return ser, nil
-	}
-	if *nodes >= maxNodes {
+	case outTruncated:
 		return nil, ErrSearchLimit
 	}
 	return nil, nil
-}
-
-// footprints renders each transaction's object footprint (see
-// history.Footprint) as a bitset over the sorted object ids, the form the
-// partial-order reduction's disjointness test consumes.
-func footprints(src history.History, txs []history.TxID, objIDs []history.ObjID) []bitset {
-	objIdx := make(map[history.ObjID]int, len(objIDs))
-	for i, id := range objIDs {
-		objIdx[id] = i
-	}
-	foot := make([]bitset, len(txs))
-	for i, tx := range txs {
-		foot[i] = newBitset(len(objIDs))
-		for _, ob := range src.Footprint(tx) {
-			if j, ok := objIdx[ob]; ok {
-				foot[i].set(j)
-			}
-		}
-	}
-	return foot
 }

@@ -43,16 +43,19 @@ func CommittedProjection(h history.History) history.History {
 func serializable(h history.History, objs spec.Objects, realTime bool) (bool, error) {
 	proj := CommittedProjection(h)
 	txs := proj.Transactions()
-	var preds [][2]history.TxID
+	var rt history.History
 	if realTime {
-		preds = h.RealTimeOrder()
+		// ≺H of the original history h: its restriction to the committed
+		// transactions is exactly the constraint strict serializability
+		// adds (pairs involving removed transactions are ignored).
+		rt = h
 	}
 	ser, err := core.FindSerialization(core.SerializeOptions{
-		Source:  proj,
-		Txs:     txs,
-		Decide:  func(history.TxID) core.Decision { return core.DecideCommitted },
-		Preds:   preds,
-		Objects: objs,
+		Source:   proj,
+		Txs:      txs,
+		Decide:   func(history.TxID) core.Decision { return core.DecideCommitted },
+		RealTime: rt,
+		Objects:  objs,
 	})
 	return ser != nil, err
 }

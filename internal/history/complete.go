@@ -44,10 +44,25 @@ func (h History) CompletionEvents(tx TxID, commit bool) []Event {
 // commit-pending transaction listed in commits is committed, every other
 // commit-pending transaction is aborted, and every other live transaction
 // is aborted. Transactions in commits that are not commit-pending in h
-// cause a panic.
+// cause a panic. When h is already complete the result is h itself, not
+// a copy — treat it as immutable, per the module's convention.
 func (h History) CompleteWith(commits map[TxID]bool) History {
-	out := h.Clone()
-	for _, tx := range h.Transactions() {
+	txs := h.Transactions()
+	extra := 0
+	for _, tx := range txs {
+		if h.Live(tx) {
+			extra += 2 // at most ⟨tryC, A⟩ per live transaction
+		}
+	}
+	if extra == 0 {
+		// h is already complete and is itself the (unique) member of
+		// Complete(h); histories are treated as immutable, so no
+		// defensive copy is taken.
+		return h
+	}
+	out := make(History, len(h), len(h)+extra)
+	copy(out, h)
+	for _, tx := range txs {
 		if !h.Live(tx) {
 			continue
 		}
@@ -60,8 +75,10 @@ func (h History) CompleteWith(commits map[TxID]bool) History {
 // every choice of commit/abort for the commit-pending transactions of h
 // (2^p histories for p commit-pending transactions; non-commit-pending
 // live transactions are always aborted). Iteration stops early if fn
-// returns false. The history passed to fn is freshly allocated on each
-// call and may be retained.
+// returns false. The history passed to fn may be retained, but — like
+// CompleteWith's result — it aliases h itself when h is already
+// complete, so treat it as immutable (the standing convention for
+// histories in this module).
 //
 // The paper's Complete(H) also contains histories that differ in the
 // relative order of the inserted events; those are all equivalent (≡) to

@@ -1,0 +1,206 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The functions under test here were rewritten for the checker hot path
+// (linear-scan dedup, bulk extraction, span-derived completion); each is
+// pinned against its straightforward per-item counterpart on a corpus of
+// random event sequences. The corpus is generated locally (internal/gen
+// depends on this package, so it cannot supply it) and deliberately
+// includes pending invocations, interleavings, aborts in place of
+// responses, and transactions left in every phase — the structures the
+// rewritten scans must classify.
+func hotCorpus(t *testing.T) []History {
+	t.Helper()
+	var out []History
+	objs := []ObjID{"x", "y", "z"}
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var h History
+		type st struct{ phase int } // 0 idle, 1 op-pending, 2 tryC'd, 3 done
+		txst := make([]st, 1+rng.Intn(6)+2)
+		for ev := 0; ev < 8+rng.Intn(24); ev++ {
+			tx := TxID(1 + rng.Intn(len(txst)-1))
+			s := &txst[tx]
+			switch s.phase {
+			case 0:
+				switch rng.Intn(4) {
+				case 0, 1:
+					ob := objs[rng.Intn(len(objs))]
+					if rng.Intn(2) == 0 {
+						h = append(h, Inv(tx, ob, "write", rng.Intn(5)))
+					} else {
+						h = append(h, Inv(tx, ob, "read", nil))
+					}
+					s.phase = 1
+				case 2:
+					h = append(h, TryC(tx))
+					s.phase = 2
+				case 3:
+					// leave idle (possibly live forever)
+				}
+			case 1:
+				switch rng.Intn(4) {
+				case 0, 1:
+					inv := h[len(h)-1] // not necessarily this tx; find it
+					for i := len(h) - 1; i >= 0; i-- {
+						if h[i].Tx == tx && h[i].Kind == KindInv {
+							inv = h[i]
+							break
+						}
+					}
+					ret := Value(OK)
+					if inv.Op == "read" {
+						ret = rng.Intn(5)
+					}
+					h = append(h, Ret(tx, inv.Obj, inv.Op, ret))
+					s.phase = 0
+				case 2:
+					h = append(h, Abort(tx))
+					s.phase = 3
+				case 3:
+					// leave the invocation pending
+				}
+			case 2:
+				if rng.Intn(3) == 0 {
+					h = append(h, Abort(tx))
+				} else {
+					h = append(h, Commit(tx))
+				}
+				s.phase = 3
+			case 3:
+				// completed; no more events
+			}
+		}
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("seed %d generated a malformed history: %v\n%s", seed, err, h.Format())
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// TestOpExecsForMatchesOpExecs: the bulk extractor must agree with the
+// per-transaction OpExecs on every transaction, including pending
+// trailing invocations.
+func TestOpExecsForMatchesOpExecs(t *testing.T) {
+	for hi, h := range hotCorpus(t) {
+		txs := h.Transactions()
+		bulk := h.OpExecsFor(txs)
+		if len(bulk) != len(txs) {
+			t.Fatalf("history %d: %d slices for %d transactions", hi, len(bulk), len(txs))
+		}
+		for i, tx := range txs {
+			want := h.OpExecs(tx)
+			got := bulk[i]
+			if len(got) != len(want) {
+				t.Fatalf("history %d, T%d: bulk %d execs, OpExecs %d\n%s", hi, int(tx), len(got), len(want), h.Format())
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("history %d, T%d, exec %d: bulk %v, OpExecs %v", hi, int(tx), k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRealTimeOrderMatchesPrecedes: the span-derived pair list must
+// contain exactly the pairs the pairwise Precedes oracle reports.
+func TestRealTimeOrderMatchesPrecedes(t *testing.T) {
+	for hi, h := range hotCorpus(t) {
+		txs := h.Transactions()
+		got := map[[2]TxID]bool{}
+		for _, p := range h.RealTimeOrder() {
+			got[p] = true
+		}
+		for _, ti := range txs {
+			for _, tj := range txs {
+				if ti == tj {
+					continue
+				}
+				want := h.Precedes(ti, tj)
+				if got[[2]TxID{ti, tj}] != want {
+					t.Fatalf("history %d: RealTimeOrder(T%d ≺ T%d) = %v, Precedes says %v\n%s",
+						hi, int(ti), int(tj), !want, want, h.Format())
+				}
+			}
+		}
+	}
+}
+
+// TestStatusMatchesSubOracle: the backward-scan Status must match the
+// "last event of H|Ti" definition it replaced.
+func TestStatusMatchesSubOracle(t *testing.T) {
+	statusOf := func(h History, tx TxID) Status {
+		sub := h.Sub(tx)
+		if len(sub) == 0 {
+			return StatusLive
+		}
+		switch sub[len(sub)-1].Kind {
+		case KindCommit:
+			return StatusCommitted
+		case KindAbort:
+			return StatusAborted
+		case KindTryCommit:
+			return StatusCommitPending
+		default:
+			return StatusLive
+		}
+	}
+	for hi, h := range hotCorpus(t) {
+		for _, tx := range h.Transactions() {
+			if got, want := h.Status(tx), statusOf(h, tx); got != want {
+				t.Fatalf("history %d: Status(T%d) = %v, oracle %v", hi, int(tx), got, want)
+			}
+		}
+		if h.Status(9999) != StatusLive {
+			t.Fatalf("history %d: absent transaction must report live", hi)
+		}
+	}
+}
+
+// TestManyTransactionsFallbacks drives Transactions, Objects, WellFormed
+// and OpExecsFor past their linear-scan cutoffs (32 distinct entries)
+// so the map-based fallbacks are exercised and agree with the small-n
+// paths' semantics.
+func TestManyTransactionsFallbacks(t *testing.T) {
+	var h History
+	for i := 1; i <= 40; i++ {
+		ob := ObjID(fmt.Sprintf("o%d", i))
+		h = append(h,
+			Inv(TxID(i), ob, "write", i), Ret(TxID(i), ob, "write", OK),
+			TryC(TxID(i)), Commit(TxID(i)))
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("40-transaction history must be well-formed: %v", err)
+	}
+	txs := h.Transactions()
+	if len(txs) != 40 {
+		t.Fatalf("Transactions found %d, want 40", len(txs))
+	}
+	if objs := h.Objects(); len(objs) != 40 {
+		t.Fatalf("Objects found %d, want 40", len(objs))
+	}
+	for i, tx := range txs {
+		if tx != TxID(i+1) {
+			t.Fatalf("transaction order: got %v at %d", tx, i)
+		}
+	}
+	bulk := h.OpExecsFor(txs)
+	for i, tx := range txs {
+		want := h.OpExecs(tx)
+		if len(bulk[i]) != len(want) {
+			t.Fatalf("T%d: bulk %d execs, want %d", int(tx), len(bulk[i]), len(want))
+		}
+	}
+	// And a malformed many-transaction history still errors (map path).
+	bad := append(h.Clone(), Inv(1, "x", "read", nil))
+	if bad.WellFormed() == nil {
+		t.Fatal("event after commit must fail well-formedness on the map path")
+	}
+}

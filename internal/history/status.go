@@ -40,22 +40,25 @@ func (s Status) Live() bool { return !s.Completed() }
 
 // Status returns the status of tx in h. A transaction with no events in h
 // is reported live (it has not completed); use Contains to distinguish.
+// Only the last event of tx matters, so the scan runs backwards and
+// allocates nothing — Status sits on the hot path of every checker call.
 func (h History) Status(tx TxID) Status {
-	sub := h.Sub(tx)
-	if len(sub) == 0 {
-		return StatusLive
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Tx != tx {
+			continue
+		}
+		switch h[i].Kind {
+		case KindCommit:
+			return StatusCommitted
+		case KindAbort:
+			return StatusAborted
+		case KindTryCommit:
+			return StatusCommitPending
+		default:
+			return StatusLive
+		}
 	}
-	last := sub[len(sub)-1]
-	switch last.Kind {
-	case KindCommit:
-		return StatusCommitted
-	case KindAbort:
-		return StatusAborted
-	case KindTryCommit:
-		return StatusCommitPending
-	default:
-		return StatusLive
-	}
+	return StatusLive
 }
 
 // Committed reports whether tx is committed in h.

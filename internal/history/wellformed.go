@@ -29,6 +29,12 @@ func (e *WellFormedError) Error() string {
 	return fmt.Sprintf("history not well-formed at event %d (%s): %s", e.Index, e.Ev, e.Msg)
 }
 
+// wfErr builds the error for one offending event. A plain function, not
+// a per-event closure: WellFormed runs on every checker call.
+func wfErr(i int, e Event, msg string) error {
+	return &WellFormedError{Index: i, Ev: e, Msg: msg}
+}
+
 // WellFormed checks that h is a well-formed history and returns a
 // *WellFormedError describing the first violation, or nil. The rules,
 // from §4 of the paper, applied to each H|Ti independently:
@@ -39,60 +45,71 @@ func (e *WellFormedError) Error() string {
 //   - only an abort event can follow an abort-try event;
 //   - an abort event may arrive in place of an operation response.
 func (h History) WellFormed() error {
-	phase := make(map[TxID]txPhase)
-	pending := make(map[TxID]Event)
+	// Per-transaction state lives in small parallel slices scanned
+	// linearly — WellFormed guards every checker call, and for the
+	// transaction counts of checkable histories a map (and the
+	// per-event closure the previous implementation allocated for its
+	// error path) costs more than the scan.
+	txs := make([]TxID, 0, 8)
+	phases := make([]txPhase, 0, 8)
+	pendings := make([]Event, 0, 8)
 	for i, e := range h {
-		p, seen := phase[e.Tx]
-		if !seen {
-			p = phaseIdle
+		t := indexOfTx(txs, e.Tx)
+		if t < 0 {
+			if len(txs) == 32 {
+				// Enough transactions to make the linear scan
+				// quadratic; restart on the map-based path.
+				return h.wellFormedMap()
+			}
+			t = len(txs)
+			txs = append(txs, e.Tx)
+			phases = append(phases, phaseIdle)
+			pendings = append(pendings, Event{})
 		}
-		fail := func(msg string) error {
-			ev := e
-			return &WellFormedError{Index: i, Ev: ev, Msg: msg}
-		}
+		p := phases[t]
 		switch p {
 		case phaseCommitted:
-			return fail("event follows commit event")
+			return wfErr(i, e, "event follows commit event")
 		case phaseAborted:
-			return fail("event follows abort event")
+			return wfErr(i, e, "event follows abort event")
 		case phaseIdle:
 			switch e.Kind {
 			case KindInv:
-				phase[e.Tx] = phaseOpPending
-				pending[e.Tx] = e
+				phases[t] = phaseOpPending
+				pendings[t] = e
 			case KindTryCommit:
-				phase[e.Tx] = phaseCommitPending
+				phases[t] = phaseCommitPending
 			case KindTryAbort:
-				phase[e.Tx] = phaseAbortPending
+				phases[t] = phaseAbortPending
 			default:
-				return fail("response event with no pending invocation")
+				return wfErr(i, e, "response event with no pending invocation")
 			}
 		case phaseOpPending:
 			switch e.Kind {
 			case KindRet:
-				if !Matches(pending[e.Tx], e) {
-					return fail(fmt.Sprintf("response does not match pending invocation %s", pending[e.Tx]))
+				if !Matches(pendings[t], e) {
+					return wfErr(i, e, fmt.Sprintf("response does not match pending invocation %s", pendings[t]))
 				}
-				phase[e.Tx] = phaseIdle
+				phases[t] = phaseIdle
 			case KindAbort:
-				phase[e.Tx] = phaseAborted
+				phases[t] = phaseAborted
 			default:
-				return fail("invocation while an operation response is pending")
+				return wfErr(i, e, "invocation while an operation response is pending")
 			}
 		case phaseCommitPending:
 			switch e.Kind {
 			case KindCommit:
-				phase[e.Tx] = phaseCommitted
+				phases[t] = phaseCommitted
 			case KindAbort:
-				phase[e.Tx] = phaseAborted
+				phases[t] = phaseAborted
 			default:
-				return fail("only commit or abort may follow a commit-try")
+				return wfErr(i, e, "only commit or abort may follow a commit-try")
 			}
 		case phaseAbortPending:
 			if e.Kind != KindAbort {
-				return fail("only abort may follow an abort-try")
+				return wfErr(i, e, "only abort may follow an abort-try")
 			}
-			phase[e.Tx] = phaseAborted
+			phases[t] = phaseAborted
 		}
 	}
 	return nil
@@ -106,4 +123,58 @@ func (h History) MustWellFormed() History {
 		panic(err)
 	}
 	return h
+}
+
+// wellFormedMap is WellFormed with map-backed per-transaction state, for
+// histories with too many transactions for the linear fast path.
+func (h History) wellFormedMap() error {
+	phases := make(map[TxID]txPhase)
+	pendings := make(map[TxID]Event)
+	for i, e := range h {
+		switch phases[e.Tx] {
+		case phaseCommitted:
+			return wfErr(i, e, "event follows commit event")
+		case phaseAborted:
+			return wfErr(i, e, "event follows abort event")
+		case phaseIdle:
+			switch e.Kind {
+			case KindInv:
+				phases[e.Tx] = phaseOpPending
+				pendings[e.Tx] = e
+			case KindTryCommit:
+				phases[e.Tx] = phaseCommitPending
+			case KindTryAbort:
+				phases[e.Tx] = phaseAbortPending
+			default:
+				return wfErr(i, e, "response event with no pending invocation")
+			}
+		case phaseOpPending:
+			switch e.Kind {
+			case KindRet:
+				if !Matches(pendings[e.Tx], e) {
+					return wfErr(i, e, fmt.Sprintf("response does not match pending invocation %s", pendings[e.Tx]))
+				}
+				phases[e.Tx] = phaseIdle
+			case KindAbort:
+				phases[e.Tx] = phaseAborted
+			default:
+				return wfErr(i, e, "invocation while an operation response is pending")
+			}
+		case phaseCommitPending:
+			switch e.Kind {
+			case KindCommit:
+				phases[e.Tx] = phaseCommitted
+			case KindAbort:
+				phases[e.Tx] = phaseAborted
+			default:
+				return wfErr(i, e, "only commit or abort may follow a commit-try")
+			}
+		case phaseAbortPending:
+			if e.Kind != KindAbort {
+				return wfErr(i, e, "only abort may follow an abort-try")
+			}
+			phases[e.Tx] = phaseAborted
+		}
+	}
+	return nil
 }

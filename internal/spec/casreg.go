@@ -1,7 +1,5 @@
 package spec
 
-import "fmt"
-
 // CASArg is the argument of the cas operation on a CAS register.
 type CASArg struct {
 	Old, New Value
@@ -47,4 +45,4 @@ func (r casRegister) Step(op string, arg, ret Value) (State, bool) {
 	}
 }
 
-func (r casRegister) Key() string { return fmt.Sprintf("cas:%v", r.v) }
+func (r casRegister) Key() string { return "cas:" + keyValue(r.v) }

@@ -1,0 +1,43 @@
+package spec
+
+// Interner assigns small dense integer ids to States, keyed by State.Key:
+// two states whose keys are equal — which by the State contract accept
+// exactly the same continuations — receive the same id, and distinct keys
+// receive distinct ids. Checkers use the ids as word-sized proxies for
+// states, so that comparing (or hashing) whole object-state vectors is
+// integer arithmetic instead of string building.
+//
+// An Interner also canonicalizes: State returns one representative per
+// id, so repeatedly reached equal states share a single boxed value
+// regardless of how many distinct State values produced them.
+//
+// Interners are not safe for concurrent use; give each goroutine its own.
+type Interner struct {
+	ids    map[string]int32
+	states []State
+}
+
+// NewInterner returns an empty Interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the id of st, assigning the next free id if st's key has
+// not been seen before.
+func (it *Interner) Intern(st State) int32 {
+	key := st.Key()
+	if id, ok := it.ids[key]; ok {
+		return id
+	}
+	id := int32(len(it.states))
+	it.ids[key] = id
+	it.states = append(it.states, st)
+	return id
+}
+
+// State returns the canonical representative of id. It panics if id was
+// not returned by Intern.
+func (it *Interner) State(id int32) State { return it.states[id] }
+
+// Len returns the number of distinct states interned so far.
+func (it *Interner) Len() int { return len(it.states) }

@@ -1,0 +1,26 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// keyValue renders one operation value for use inside a State key.
+// A bare %v would let distinct values collide — int 0 and string "0"
+// both print as 0, and a string containing the container separator
+// (e.g. "1,2" inside a queue) would read as two elements — and states
+// with colliding keys poison every memo table built on the Key
+// contract. Strings are therefore quoted and all other types tagged
+// with their dynamic type.
+func keyValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "<nil>"
+	case string:
+		return strconv.Quote(x)
+	case int:
+		return strconv.Itoa(x)
+	default:
+		return fmt.Sprintf("%T(%v)", v, v)
+	}
+}

@@ -1,9 +1,6 @@
 package spec
 
-import (
-	"fmt"
-	"strings"
-)
+import "strings"
 
 // Empty is the return value of deq on an empty queue and pop on an empty
 // stack.
@@ -53,7 +50,7 @@ func (q queue) Step(op string, arg, ret Value) (State, bool) {
 func (q queue) Key() string {
 	parts := make([]string, len(q.items))
 	for i, v := range q.items {
-		parts[i] = fmt.Sprintf("%v", v)
+		parts[i] = keyValue(v)
 	}
 	return "q:[" + strings.Join(parts, ",") + "]"
 }

@@ -1,7 +1,5 @@
 package spec
 
-import "fmt"
-
 // register is the sequential specification of a read/write register
 // (paper, §4): every read returns the value given as argument to the
 // latest preceding write, regardless of transaction identifiers.
@@ -30,4 +28,4 @@ func (r register) Step(op string, arg, ret Value) (State, bool) {
 	}
 }
 
-func (r register) Key() string { return fmt.Sprintf("reg:%v", r.v) }
+func (r register) Key() string { return "reg:" + keyValue(r.v) }

@@ -1,7 +1,6 @@
 package spec
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 )
@@ -70,7 +69,7 @@ func (s set) Step(op string, arg, ret Value) (State, bool) {
 func (s set) Key() string {
 	elems := make([]string, 0, len(s.m))
 	for v := range s.m {
-		elems = append(elems, fmt.Sprintf("%v", v))
+		elems = append(elems, keyValue(v))
 	}
 	sort.Strings(elems)
 	return "set:{" + strings.Join(elems, ",") + "}"

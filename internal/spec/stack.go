@@ -1,9 +1,6 @@
 package spec
 
-import (
-	"fmt"
-	"strings"
-)
+import "strings"
 
 // stack is the sequential specification of a LIFO stack.
 //
@@ -50,7 +47,7 @@ func (s stack) Step(op string, arg, ret Value) (State, bool) {
 func (s stack) Key() string {
 	parts := make([]string, len(s.items))
 	for i, v := range s.items {
-		parts[i] = fmt.Sprintf("%v", v)
+		parts[i] = keyValue(v)
 	}
 	return "st:[" + strings.Join(parts, ",") + "]"
 }
