@@ -21,6 +21,7 @@ package otm
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"otm/internal/bench"
@@ -28,6 +29,7 @@ import (
 	"otm/internal/core"
 	"otm/internal/gen"
 	"otm/internal/history"
+	"otm/internal/monitor"
 	"otm/internal/opg"
 	"otm/internal/stm"
 )
@@ -319,6 +321,87 @@ func BenchmarkTheorem2(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkMonitorOverhead measures what live opacity monitoring costs
+// relative to the bare engine: one benchmark iteration is a fixed
+// concurrent episode (4 goroutines × 25 transactions of 6 operations
+// over 8 registers on tl2) run with monitoring off, with recording
+// only, with a synchronous monitor (checks inside every recorded event,
+// under the recorder mutex) and with an asynchronous one (checks on a
+// drain goroutine, Block backpressure). Episodes are fixed-size because
+// the per-event cost of prefix checking grows with history length —
+// open-ended b.N transactions on one session would measure the history
+// size, not the mode. commits/s makes the off/sync/async throughput
+// comparison directly readable in the bench output; monitor-nodes and
+// monitor-fastpath show how much verification the session actually did
+// (fast-path revalidations vastly outnumbering searches is what keeps
+// sync mode affordable).
+func BenchmarkMonitorOverhead(b *testing.B) {
+	const k, goroutines, txPerG, opsPerTx = 8, 4, 25, 6
+	episode := func(b *testing.B, tm stm.TM) {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for t := 0; t < txPerG; t++ {
+					ops := gen.MakeWorkload(int64(g*txPerG+t), 1, opsPerTx, k, 0.7)[0]
+					err := stm.Atomically(tm, func(tx stm.Tx) error {
+						for _, op := range ops {
+							if op.Read {
+								if _, err := tx.Read(op.Obj); err != nil {
+									return err
+								}
+							} else if err := tx.Write(op.Obj, op.Val); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	commitsPerSec := func(b *testing.B) {
+		b.ReportMetric(float64(b.N*goroutines*txPerG)/b.Elapsed().Seconds(), "commits/s")
+	}
+
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			episode(b, NewTL2(k))
+		}
+		commitsPerSec(b)
+	})
+	b.Run("recorded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			episode(b, stm.NewRecorder(NewTL2(k)))
+		}
+		commitsPerSec(b)
+	})
+	for _, mode := range []monitor.Mode{monitor.Sync, monitor.Async} {
+		b.Run(mode.String(), func(b *testing.B) {
+			nodes, fast := 0, 0
+			for i := 0; i < b.N; i++ {
+				rec := stm.NewRecorder(NewTL2(k))
+				sess := monitor.Attach(rec, monitor.Options{Mode: mode})
+				episode(b, rec)
+				v := sess.Close()
+				if v.Status != monitor.StatusOpaque {
+					b.Fatalf("monitored tl2 episode not certified: %+v", v)
+				}
+				nodes, fast = v.Nodes, v.FastPath
+			}
+			commitsPerSec(b)
+			b.ReportMetric(float64(nodes), "monitor-nodes")
+			b.ReportMetric(float64(fast), "monitor-fastpath")
 		})
 	}
 }

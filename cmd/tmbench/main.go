@@ -9,6 +9,8 @@
 //	tmbench -scan        # E10 only
 //	tmbench -throughput  # E13 only
 //	tmbench -zombie      # E7/E12 demo: zombie read under gatm vs dstm
+//	tmbench -monitor M   # engine × manager × workload matrix under a
+//	                     # live opacity monitor (M = sync or async)
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"otm/internal/core"
 	"otm/internal/criteria"
 	"otm/internal/interleave"
+	"otm/internal/monitor"
 	"otm/internal/stm"
 	"otm/internal/stm/dstm"
 	"otm/internal/stm/gatm"
@@ -37,9 +40,32 @@ func main() {
 	cmAblation := flag.Bool("cm", false, "run the contention-manager ablation")
 	matrix := flag.Bool("matrix", false, "run the cross-engine behaviour matrix")
 	zombie := flag.Bool("zombie", false, "run the E7/E12 zombie demonstration")
-	goroutines := flag.Int("g", 8, "goroutines for -throughput and -cm")
-	txPerG := flag.Int("tx", 2000, "transactions per goroutine for -throughput and -cm")
+	monitored := flag.String("monitor", "", "run every engine × contention-manager × workload mix under a live opacity monitor: sync or async")
+	goroutines := flag.Int("g", 8, "goroutines for -throughput, -cm and -monitor")
+	txPerG := flag.Int("tx", 0, "transactions per goroutine (default 2000; 25 under -monitor, whose per-event cost grows with history length)")
 	flag.Parse()
+
+	if *monitored != "" {
+		var mode monitor.Mode
+		switch *monitored {
+		case "sync":
+			mode = monitor.Sync
+		case "async":
+			mode = monitor.Async
+		default:
+			fmt.Fprintf(os.Stderr, "tmbench: -monitor must be sync or async, got %q\n", *monitored)
+			os.Exit(2)
+		}
+		tx := *txPerG
+		if tx == 0 {
+			tx = 25
+		}
+		runMonitored(mode, *goroutines, tx)
+		return
+	}
+	if *txPerG == 0 {
+		*txPerG = 2000
+	}
 
 	all := !*sweep && !*scan && !*throughput && !*zombie && !*cmAblation && !*matrix
 	if *sweep || all {
@@ -108,6 +134,78 @@ func runCMAblation(g, txPerG int) {
 		}
 	}
 	w.Flush()
+	fmt.Println()
+}
+
+// runMonitored is the -monitor matrix: every engine (× contention
+// manager for the managed progressive engines) × workload mix, with
+// every recorded event streamed through a live opacity monitor. Few hot
+// objects keep conflicts frequent — the regime where a non-opaque
+// engine's zombies actually surface mid-run. Throughput includes the
+// recording and (for sync) checking overhead, so the table doubles as a
+// live-monitoring cost sheet; BenchmarkMonitorOverhead measures the
+// same decomposition under the testing harness.
+func runMonitored(mode monitor.Mode, g, txPerG int) {
+	const k, opsPerTx = 2, 8
+	fmt.Printf("== live opacity monitoring (%s): k=%d, %d goroutines × %d tx, %d ops/tx ==\n",
+		mode, k, g, txPerG, opsPerTx)
+	w := newTab()
+	fmt.Fprintln(w, "engine\tmanager\tmix\tcommits/s\tabort rate\tevents\tchecked\tnodes\tfast\tverdict")
+	type caught struct {
+		row  string
+		viol *monitor.Violation
+	}
+	var caughts []caught
+	for _, e := range bench.Engines() {
+		mgrs := []cm.Manager{nil}
+		if _, err := bench.ManagedEngine(e.Name, cm.Aggressive{}); err == nil {
+			mgrs = bench.Managers()
+		}
+		for _, mgr := range mgrs {
+			engine, label := e, "—"
+			if mgr != nil {
+				engine, _ = bench.ManagedEngine(e.Name, mgr)
+				label = mgr.Name()
+			}
+			for _, mix := range []struct {
+				name string
+				frac float64
+			}{{"90% reads", 0.9}, {"50% reads", 0.5}} {
+				var sess *monitor.Session
+				wrapped := bench.Engine{
+					Name: engine.Name,
+					New: func(n int) stm.TM {
+						rec := stm.NewRecorder(engine.New(n))
+						sess = monitor.Attach(rec, monitor.Options{Mode: mode})
+						return rec
+					},
+				}
+				r := bench.Throughput(wrapped, k, g, txPerG, opsPerTx, mix.frac)
+				v := sess.Close()
+				row := fmt.Sprintf("%s/%s/%s", e.Name, label, mix.name)
+				verdict := v.Status.String()
+				if v.Status == monitor.StatusViolated {
+					verdict = fmt.Sprintf("VIOLATED@%d", v.PrefixLen)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.1f%%\t%d\t%d\t%d\t%d\t%s\n",
+					e.Name, label, mix.name, r.OpsPerSec(), 100*r.AbortRate(),
+					v.Events, v.Checked, v.Nodes, v.FastPath, verdict)
+				if viol := sess.Violation(); viol != nil {
+					caughts = append(caughts, caught{row: row, viol: viol})
+				}
+				if v.Err != nil {
+					fmt.Fprintf(os.Stderr, "tmbench: %s: monitoring failed: %v\n", row, v.Err)
+				}
+			}
+		}
+	}
+	w.Flush()
+	for _, c := range caughts {
+		fmt.Printf("\n%s: first violation at event %d (%s)\n", c.row, c.viol.PrefixLen-1, c.viol.Event)
+		if c.viol.Diagnosed {
+			fmt.Printf("  %s\n", c.viol.Diagnosis)
+		}
+	}
 	fmt.Println()
 }
 

@@ -230,12 +230,13 @@ func IsOpaque(h history.History, objs spec.Objects) bool {
 // that is not opaque, or -1 if every prefix is opaque. A correct TM
 // generates its history progressively and every prefix the application
 // can observe must be opaque; this is the "online" view of opacity used
-// to validate recorded STM runs. Prefixes are checked at response-event
-// boundaries (an invocation alone cannot create a violation that its
-// response does not). The O(n) prefix checks share one SearchContext
-// (cfg.Context if supplied, a private one otherwise), so the object
-// states and transitions interned while checking one prefix are reused
-// by every longer prefix.
+// to validate recorded STM runs. The scan runs on the Incremental
+// checker: every prefix shares one SearchContext (cfg.Context if
+// supplied, a private one otherwise), and each check first revalidates
+// the previous prefix's witness, so an all-opaque history costs a replay
+// per event rather than a search per event. With cfg.DisableMemo the
+// scan instead re-checks each response-boundary prefix from scratch on
+// the reference engine.
 func FirstNonOpaquePrefix(h history.History, cfg Config) (int, error) {
 	n, _, err := firstNonOpaquePrefix(h, cfg)
 	return n, err
@@ -244,22 +245,30 @@ func FirstNonOpaquePrefix(h history.History, cfg Config) (int, error) {
 // firstNonOpaquePrefix is FirstNonOpaquePrefix plus the total node count
 // across the prefix scan, for Diagnose's cost accounting.
 func firstNonOpaquePrefix(h history.History, cfg Config) (int, int, error) {
-	if cfg.Context == nil && !cfg.DisableMemo {
-		cfg.Context = NewSearchContext()
+	if cfg.DisableMemo {
+		nodes := 0
+		for i := 1; i <= len(h); i++ {
+			if i < len(h) && h[i-1].Kind.Invocation() {
+				continue
+			}
+			r, err := Check(h[:i], cfg)
+			nodes += r.Nodes
+			if err != nil {
+				return 0, nodes, fmt.Errorf("prefix of length %d: %w", i, err)
+			}
+			if !r.Opaque {
+				return i, nodes, nil
+			}
+		}
+		return -1, nodes, nil
 	}
-	nodes := 0
-	for i := 1; i <= len(h); i++ {
-		if i < len(h) && h[i-1].Kind.Invocation() {
-			continue
-		}
-		r, err := Check(h[:i], cfg)
-		nodes += r.Nodes
-		if err != nil {
-			return 0, nodes, fmt.Errorf("prefix of length %d: %w", i, err)
-		}
-		if !r.Opaque {
-			return i, nodes, nil
-		}
+	inc := NewIncremental(cfg)
+	if _, err := inc.Append(h...); err != nil {
+		return 0, inc.Result().Nodes, err
 	}
-	return -1, nodes, nil
+	r := inc.Result()
+	if !r.Opaque {
+		return r.PrefixLen, r.Nodes, nil
+	}
+	return -1, r.Nodes, nil
 }

@@ -65,6 +65,17 @@ type SerializeOptions struct {
 	// calls — see SearchContext for why that is sound. Ignored by the
 	// DisableMemo reference engine.
 	Context *SearchContext
+	// Hint optionally supplies a candidate serialization — an order over
+	// exactly Txs plus commit fates for the DecideBranch transactions —
+	// to validate before searching. A candidate that places every
+	// transaction legally under the ordering constraints is returned as
+	// the result without exploring a single search node; an invalid one
+	// costs one linear walk over cached transitions and falls back to
+	// the full search. Incremental prefix checking threads the previous
+	// prefix's witness through here, which is what makes the common
+	// "history still opaque" append a replay instead of a search.
+	// Ignored by the DisableMemo reference engine.
+	Hint *Serialization
 	// DisableMemo runs the reference engine instead: the plain
 	// backtracking search on copy-on-write spec.Objects maps, with no
 	// interning, no memoization and no partial-order reduction. It exists
@@ -115,6 +126,7 @@ type searcher struct {
 
 	n       int
 	txs     []history.TxID
+	txIdx   map[history.TxID]int32 // index into txs; nil for small n
 	execs   [][]history.OpExec
 	sigs    []int32
 	decide  []Decision
@@ -151,6 +163,21 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 	s.txs = o.Txs
 	s.maxNodes = maxNodes
 	s.nodes = nodes
+
+	// Enough transactions to make the linear indexOf scans of setup,
+	// addRealTimePreds and validate quadratic: build an index map.
+	if n > 32 {
+		if s.txIdx == nil {
+			s.txIdx = make(map[history.TxID]int32, n)
+		} else {
+			clear(s.txIdx)
+		}
+		for i, tx := range o.Txs {
+			s.txIdx[tx] = int32(i)
+		}
+	} else {
+		s.txIdx = nil
+	}
 
 	// Between calls is the only safe point to bound the tables: nothing
 	// for this call has been interned yet.
@@ -196,8 +223,8 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 	s.placed = bitset(s.words[off : off+tw])
 
 	for _, p := range o.Preds {
-		i := indexOf(o.Txs, p[0])
-		j := indexOf(o.Txs, p[1])
+		i := s.indexOfTx(p[0])
+		j := s.indexOfTx(p[1])
 		if i >= 0 && j >= 0 {
 			s.preds[j].set(i)
 		}
@@ -237,7 +264,7 @@ func (s *searcher) addRealTimePreds(src history.History) {
 		completed[i] = false
 	}
 	for hi, e := range src {
-		j := indexOf(s.txs, e.Tx)
+		j := s.indexOfTx(e.Tx)
 		if j < 0 {
 			continue
 		}
@@ -257,6 +284,83 @@ func (s *searcher) addRealTimePreds(src history.History) {
 			}
 		}
 	}
+}
+
+// indexOfTx returns the index of tx in s.txs, through the index map when
+// one was built (large transaction counts), or -1.
+func (s *searcher) indexOfTx(tx history.TxID) int {
+	if s.txIdx != nil {
+		if i, ok := s.txIdx[tx]; ok {
+			return int(i)
+		}
+		return -1
+	}
+	return indexOf(s.txs, tx)
+}
+
+// validate checks one full candidate serialization — hint.Order over
+// exactly s.txs plus hint.Commits fates for the DecideBranch
+// transactions (absent entries default to abort, which never perturbs
+// the object states) — without searching: each transaction in turn must
+// have its predecessors already placed and replay legally on the current
+// interned state. On success s.order, s.fate and s.placed hold the
+// serialization exactly as a successful search would leave them; on
+// failure the walk state is rolled back so the full search starts clean.
+// Validation runs entirely on the transition cache and explores no
+// search nodes.
+func (s *searcher) validate(hint *Serialization) bool {
+	if len(hint.Order) != s.n {
+		return false
+	}
+	vid := s.init
+	ok := true
+	for _, tx := range hint.Order {
+		i := s.indexOfTx(tx)
+		if i < 0 || s.placed.has(i) || !s.placed.covers(s.preds[i]) {
+			ok = false
+			break
+		}
+		next, legal := s.ctx.step(vid, s.sigs[i], s.execs[i])
+		if !legal {
+			ok = false
+			break
+		}
+		fate := false
+		switch s.decide[i] {
+		case DecideCommitted:
+			fate = true
+		case DecideBranch:
+			fate = hint.Commits[tx]
+		}
+		if fate {
+			vid = next
+		}
+		s.fate[i] = fate
+		s.placed.set(i)
+		s.order = append(s.order, tx)
+	}
+	if ok && len(s.order) == s.n {
+		return true
+	}
+	clear(s.placed)
+	s.order = s.order[:0]
+	return false
+}
+
+// result assembles the Serialization from the searcher's final walk
+// state (s.order and, for DecideBranch transactions, s.fate) — shared by
+// the search success path and the validated-hint fast path.
+func (s *searcher) result(o SerializeOptions) *Serialization {
+	ser := &Serialization{Order: append([]history.TxID(nil), s.order...)}
+	for i, tx := range o.Txs {
+		if s.decide[i] == DecideBranch {
+			if ser.Commits == nil {
+				ser.Commits = make(map[history.TxID]bool)
+			}
+			ser.Commits[tx] = s.fate[i]
+		}
+	}
+	return ser
 }
 
 // prunable implements the partial-order reduction: placing candidate i
@@ -381,18 +485,13 @@ func FindSerialization(o SerializeOptions) (*Serialization, error) {
 	defer func() { s.active = false }()
 	s.setup(ctx, o, maxNodes, nodes)
 
+	if o.Hint != nil && s.validate(o.Hint) {
+		return s.result(o), nil
+	}
+
 	switch s.search(s.placed, 0, s.init, -1) {
 	case outFound:
-		ser := &Serialization{Order: append([]history.TxID(nil), s.order...)}
-		for i, tx := range o.Txs {
-			if s.decide[i] == DecideBranch {
-				if ser.Commits == nil {
-					ser.Commits = make(map[history.TxID]bool)
-				}
-				ser.Commits[tx] = s.fate[i]
-			}
-		}
-		return ser, nil
+		return s.result(o), nil
 	case outTruncated:
 		return nil, ErrSearchLimit
 	}

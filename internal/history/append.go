@@ -1,0 +1,118 @@
+package history
+
+// Appender grows a history one event at a time while maintaining
+// well-formedness incrementally: Append rejects (and does not record) any
+// event that would make the history ill-formed, using the same
+// per-transaction state machine as WellFormed but paying O(1) per event
+// instead of re-scanning the whole history. It is the append-driven
+// counterpart of Builder, built for consumers that interleave appends
+// with checks on the growing history — the online opacity monitor taps a
+// live STM run into one Appender and hands every prefix to the
+// incremental checker without ever re-validating from scratch.
+//
+// The zero Appender is not ready for use; call NewAppender.
+type Appender struct {
+	h        History
+	phases   map[TxID]txPhase
+	pendings map[TxID]Event
+}
+
+// NewAppender returns an empty Appender.
+func NewAppender() *Appender {
+	return &Appender{
+		phases:   make(map[TxID]txPhase),
+		pendings: make(map[TxID]Event),
+	}
+}
+
+// Append validates ev against the history built so far and appends it.
+// On a well-formedness violation it returns a *WellFormedError (with
+// Index set to the position the event would have occupied) and leaves
+// the history unchanged, so a monitor can flag the offending event and
+// keep its previously validated prefix intact.
+func (a *Appender) Append(ev Event) error {
+	i := len(a.h)
+	switch a.phases[ev.Tx] {
+	case phaseCommitted:
+		return wfErr(i, ev, "event follows commit event")
+	case phaseAborted:
+		return wfErr(i, ev, "event follows abort event")
+	case phaseIdle:
+		switch ev.Kind {
+		case KindInv:
+			a.phases[ev.Tx] = phaseOpPending
+			a.pendings[ev.Tx] = ev
+		case KindTryCommit:
+			a.phases[ev.Tx] = phaseCommitPending
+		case KindTryAbort:
+			a.phases[ev.Tx] = phaseAbortPending
+		default:
+			return wfErr(i, ev, "response event with no pending invocation")
+		}
+	case phaseOpPending:
+		switch ev.Kind {
+		case KindRet:
+			if !Matches(a.pendings[ev.Tx], ev) {
+				return wfErr(i, ev, "response does not match pending invocation "+a.pendings[ev.Tx].String())
+			}
+			a.phases[ev.Tx] = phaseIdle
+		case KindAbort:
+			a.phases[ev.Tx] = phaseAborted
+		default:
+			return wfErr(i, ev, "invocation while an operation response is pending")
+		}
+	case phaseCommitPending:
+		switch ev.Kind {
+		case KindCommit:
+			a.phases[ev.Tx] = phaseCommitted
+		case KindAbort:
+			a.phases[ev.Tx] = phaseAborted
+		default:
+			return wfErr(i, ev, "only commit or abort may follow a commit-try")
+		}
+	case phaseAbortPending:
+		if ev.Kind != KindAbort {
+			return wfErr(i, ev, "only abort may follow an abort-try")
+		}
+		a.phases[ev.Tx] = phaseAborted
+	}
+	a.h = append(a.h, ev)
+	return nil
+}
+
+// Len returns the number of events appended so far.
+func (a *Appender) Len() int { return len(a.h) }
+
+// History returns the history built so far as a view: the slice shares
+// the Appender's backing array and stays valid across further Appends
+// (they never write below the returned length) but not across Reset.
+// Use Snapshot for an independent copy.
+func (a *Appender) History() History { return a.h }
+
+// Snapshot returns an independent copy of the history built so far.
+func (a *Appender) Snapshot() History { return a.h.Clone() }
+
+// Status returns the status of tx in the history built so far, exactly
+// as History.Status would report it, but in O(1) from the maintained
+// phase instead of a backward scan.
+func (a *Appender) Status(tx TxID) Status {
+	switch a.phases[tx] {
+	case phaseCommitPending:
+		return StatusCommitPending
+	case phaseCommitted:
+		return StatusCommitted
+	case phaseAborted:
+		return StatusAborted
+	default:
+		return StatusLive
+	}
+}
+
+// Reset discards the history and all transaction state, retaining the
+// allocated capacity for reuse. Histories previously returned by History
+// become invalid; Snapshot copies are unaffected.
+func (a *Appender) Reset() {
+	a.h = a.h[:0]
+	clear(a.phases)
+	clear(a.pendings)
+}

@@ -1,0 +1,156 @@
+package history
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAppenderMatchesWellFormed: the Appender accepts exactly the event
+// sequences WellFormed accepts, event by event — the incremental state
+// machine and the batch scanner are the same decision procedure.
+func TestAppenderMatchesWellFormed(t *testing.T) {
+	// A pool of events covering every kind, over two transactions and two
+	// objects; exhaustive depth-limited enumeration of sequences.
+	pool := []Event{
+		Inv(1, "x", "read", nil), Ret(1, "x", "read", 0),
+		Inv(1, "y", "write", 1), Ret(1, "y", "write", OK),
+		TryC(1), TryA(1), Commit(1), Abort(1),
+		Inv(2, "x", "write", 2), Ret(2, "x", "write", OK),
+		TryC(2), Commit(2), Abort(2),
+	}
+	var seq History
+	var walk func(depth int)
+	checked := 0
+	walk = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		for _, ev := range pool {
+			seq = append(seq, ev)
+			batchErr := seq.WellFormed()
+			// Replay the whole sequence through a fresh Appender; the
+			// first rejected event must coincide with the batch verdict.
+			a := NewAppender()
+			var incErr error
+			for _, e := range seq {
+				if incErr = a.Append(e); incErr != nil {
+					break
+				}
+			}
+			if (batchErr == nil) != (incErr == nil) {
+				t.Fatalf("divergence on %v: WellFormed=%v Appender=%v", seq, batchErr, incErr)
+			}
+			if batchErr != nil {
+				var be, ie *WellFormedError
+				if !errors.As(batchErr, &be) || !errors.As(incErr, &ie) {
+					t.Fatalf("non-WellFormedError on %v: %v / %v", seq, batchErr, incErr)
+				}
+				if be.Index != ie.Index || be.Msg != ie.Msg {
+					t.Fatalf("divergent error on %v: batch (%d, %q) vs incremental (%d, %q)",
+						seq, be.Index, be.Msg, ie.Index, ie.Msg)
+				}
+			}
+			checked++
+			if batchErr == nil {
+				// Only extend well-formed prefixes: an ill-formed sequence
+				// stays ill-formed, nothing more to learn.
+				walk(depth - 1)
+			}
+			seq = seq[:len(seq)-1]
+		}
+	}
+	walk(4)
+	if checked < 1000 {
+		t.Fatalf("enumeration too small: %d sequences", checked)
+	}
+}
+
+// TestAppenderRejectsAndKeepsPrefix: a rejected event leaves the
+// appender's history and transaction state untouched.
+func TestAppenderRejectsAndKeepsPrefix(t *testing.T) {
+	a := NewAppender()
+	for _, ev := range []Event{Inv(1, "x", "read", nil), Ret(1, "x", "read", 0), TryC(1)} {
+		if err := a.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := Inv(1, "y", "read", nil) // only C/A may follow tryC
+	err := a.Append(bad)
+	var wfe *WellFormedError
+	if !errors.As(err, &wfe) {
+		t.Fatalf("Append(%v) = %v, want WellFormedError", bad, err)
+	}
+	if wfe.Index != 3 {
+		t.Errorf("error index %d, want 3", wfe.Index)
+	}
+	if a.Len() != 3 {
+		t.Errorf("rejected event recorded: Len=%d", a.Len())
+	}
+	if got := a.Status(1); got != StatusCommitPending {
+		t.Errorf("Status(1) after rejection = %v, want commit-pending", got)
+	}
+	// The transaction can still complete normally.
+	if err := a.Append(Commit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Status(1); got != StatusCommitted {
+		t.Errorf("Status(1) = %v, want committed", got)
+	}
+}
+
+// TestAppenderStatusMatchesHistory: the O(1) Status agrees with the
+// History.Status scan at every step of a representative run.
+func TestAppenderStatusMatchesHistory(t *testing.T) {
+	evs := History{
+		Inv(1, "x", "read", nil), Ret(1, "x", "read", 0),
+		Inv(2, "x", "write", 1), TryA(3), Abort(3),
+		Ret(2, "x", "write", OK), TryC(2), Commit(2),
+		Inv(4, "y", "read", nil), Abort(4),
+		TryC(1), Abort(1),
+	}
+	a := NewAppender()
+	for i, ev := range evs {
+		if err := a.Append(ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		for tx := TxID(1); tx <= 5; tx++ {
+			if got, want := a.Status(tx), a.History().Status(tx); got != want {
+				t.Fatalf("after event %d: Status(T%d) = %v, History says %v", i, tx, got, want)
+			}
+		}
+	}
+}
+
+// TestAppenderViewAndReset: History returns a stable view across appends;
+// Reset clears state but keeps Snapshot copies intact.
+func TestAppenderViewAndReset(t *testing.T) {
+	a := NewAppender()
+	if err := a.Append(Inv(1, "x", "read", nil)); err != nil {
+		t.Fatal(err)
+	}
+	view := a.History()
+	if err := a.Append(Ret(1, "x", "read", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(view) != 1 || view[0].Kind != KindInv {
+		t.Errorf("earlier view mutated by later append: %v", view)
+	}
+	snap := a.Snapshot()
+	a.Reset()
+	if a.Len() != 0 {
+		t.Errorf("Len after Reset = %d", a.Len())
+	}
+	if got := a.Status(1); got != StatusLive {
+		t.Errorf("Status(1) after Reset = %v, want live (unknown)", got)
+	}
+	if len(snap) != 2 {
+		t.Errorf("snapshot affected by Reset: %v", snap)
+	}
+	// The appender is reusable after Reset.
+	if err := a.Append(TryC(7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Status(7); got != StatusCommitPending {
+		t.Errorf("Status(7) = %v, want commit-pending", got)
+	}
+}

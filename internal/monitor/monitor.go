@@ -1,0 +1,412 @@
+// Package monitor checks opacity of live STM executions online: a
+// Session taps the event stream of an stm.Recorder (or is fed events
+// directly) and maintains an incremental verdict as operations, commits
+// and aborts arrive, flagging a violation at the exact event that
+// introduces it.
+//
+// Monitoring is well-founded because the checker's online view is
+// prefix-driven: a correct TM emits its history progressively, and
+// every prefix the application can observe must be opaque (the same
+// view core.FirstNonOpaquePrefix takes post-hoc). The Session runs on
+// core.Incremental, so successive prefixes of the growing history reuse
+// one SearchContext — interned object states, cached transitions — and
+// the common "still opaque" event costs a witness revalidation, not a
+// search.
+//
+// Two modes trade latency against perturbation:
+//
+//   - Sync: the verdict is updated inside the recorder's event append,
+//     so every transactional operation of every goroutine waits for the
+//     check. The violating operation is still in flight when the
+//     verdict lands — stop-the-world monitoring for tests and
+//     debugging.
+//   - Async: events enqueue into a bounded buffer and a drain goroutine
+//     checks them off the critical path. The buffer-full policy is
+//     configurable: Block applies backpressure to the engine, Drop
+//     discards the event and latches the session lossy (a gapped
+//     history cannot be judged, so lossiness is flagged, never
+//     silently absorbed).
+//
+// On the first violation the Session stops checking (the verdict is
+// latched — no later event can un-observe a violation), snapshots the
+// offending prefix, and runs core.Diagnose on it to name the culpable
+// transactions.
+package monitor
+
+import (
+	"sync"
+
+	"otm/internal/core"
+	"otm/internal/history"
+	"otm/internal/spec"
+	"otm/internal/stm"
+)
+
+// Mode selects where checking happens relative to the event source.
+type Mode int
+
+const (
+	// Sync checks inside Append (for a tapped Recorder: inside the
+	// engine's own operation, under the recorder mutex).
+	Sync Mode = iota
+	// Async checks on a drain goroutine fed by a bounded queue.
+	Async
+)
+
+// String returns "sync" or "async".
+func (m Mode) String() string {
+	if m == Async {
+		return "async"
+	}
+	return "sync"
+}
+
+// DropPolicy says what an Async session does when its buffer is full.
+type DropPolicy int
+
+const (
+	// Block applies backpressure: Append waits for the drain goroutine.
+	// Monitoring stays complete; the engine slows down.
+	Block DropPolicy = iota
+	// Drop discards the event and latches the session lossy: the engine
+	// never waits, but from the first dropped event on the monitor can
+	// no longer certify the run and says so in its verdict.
+	Drop
+)
+
+// Status is the overall state of a monitoring session.
+type Status int
+
+const (
+	// StatusOpaque: every checked prefix so far is opaque.
+	StatusOpaque Status = iota
+	// StatusViolated: a non-opaque prefix was observed; see Violation.
+	StatusViolated
+	// StatusLossy: at least one event was dropped (Drop policy); the
+	// verdict covers only the events checked before the gap.
+	StatusLossy
+	// StatusError: checking failed (ill-formed event stream or an
+	// exhausted search budget); see Verdict.Err.
+	StatusError
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOpaque:
+		return "opaque"
+	case StatusViolated:
+		return "VIOLATED"
+	case StatusLossy:
+		return "lossy"
+	case StatusError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a Session. The zero value is a synchronous,
+// blocking, diagnosing monitor over default register objects.
+type Options struct {
+	// Mode selects Sync (default) or Async checking.
+	Mode Mode
+	// Buffer is the Async queue capacity (default 1024). Ignored for
+	// Sync.
+	Buffer int
+	// DropPolicy says what a full Async buffer does (default Block).
+	DropPolicy DropPolicy
+	// Objects supplies the object specifications, as in core.Config.
+	Objects spec.Objects
+	// MaxNodes bounds each prefix check, as in core.Config.
+	MaxNodes int
+	// DisableDiagnosis skips the core.Diagnose run on the violating
+	// prefix (the Violation then carries only the prefix and event).
+	DisableDiagnosis bool
+	// OnViolation, if non-nil, is called once, with the violation, when
+	// the verdict flips. It must never call Close (it runs inside the
+	// session's intake critical section). In Sync mode it runs on the
+	// engine goroutine that issued the violating operation — and, when
+	// tapped into a Recorder, under the recorder's mutex, so there it
+	// must not call back into the recorder or the session at all.
+	OnViolation func(Violation)
+}
+
+// Violation describes the first opacity violation a session observed.
+type Violation struct {
+	// PrefixLen is the length of the shortest non-opaque prefix; Event
+	// is its last event — the one that made the violation observable.
+	PrefixLen int
+	Event     history.Event
+	// Prefix is an independent snapshot of that prefix.
+	Prefix history.History
+	// Diagnosis names the implicated transactions (valid when Diagnosed
+	// is true; diagnosis is skipped by DisableDiagnosis and abandoned on
+	// internal error).
+	Diagnosis core.Diagnosis
+	Diagnosed bool
+}
+
+// Verdict is a snapshot of a session's state.
+type Verdict struct {
+	Status Status
+	// Events counts every event offered to the session, including
+	// dropped ones and events arriving after a latched verdict.
+	Events int
+	// Checked counts the events consumed by the incremental checker;
+	// the verdict covers exactly this prefix.
+	Checked int
+	// Dropped counts events discarded by the Drop policy.
+	Dropped int
+	// PrefixLen is the shortest non-opaque prefix (StatusViolated), -1
+	// otherwise.
+	PrefixLen int
+	// Nodes, FastPath, Searches and Skipped mirror
+	// core.IncrementalResult: total search nodes, checks resolved by
+	// witness revalidation, full searches, and response events skipped
+	// by the abort rule.
+	Nodes    int
+	FastPath int
+	Searches int
+	Skipped  int
+	// Err is the checking error when Status is StatusError.
+	Err error
+}
+
+// Session is one online monitoring session over one growing history.
+// Appends must arrive in history order (the recorder tap guarantees
+// this: it runs under the recorder's mutex); Verdict, Violation,
+// History and Close may be called from any goroutine at any time.
+type Session struct {
+	opts Options
+
+	// incMu guards the incremental checker; mu guards the published
+	// session state. Split so an Async drain mid-check never blocks the
+	// cheap bookkeeping of Append.
+	incMu sync.Mutex
+	inc   *core.Incremental
+
+	mu        sync.Mutex
+	status    Status
+	events    int
+	dropped   int
+	last      core.IncrementalResult
+	err       error
+	violation *Violation
+
+	// Async plumbing. closeMu serializes Append against Close so the
+	// event channel is never written after it is closed.
+	ch      chan history.Event
+	done    chan struct{}
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// New starts a session. Async sessions own a drain goroutine until
+// Close.
+func New(opts Options) *Session {
+	s := &Session{
+		opts: opts,
+		inc: core.NewIncremental(core.Config{
+			Objects:  opts.Objects,
+			MaxNodes: opts.MaxNodes,
+		}),
+		status: StatusOpaque,
+	}
+	s.last = s.inc.Result()
+	if opts.Mode == Async {
+		buf := opts.Buffer
+		if buf <= 0 {
+			buf = 1024
+		}
+		s.ch = make(chan history.Event, buf)
+		s.done = make(chan struct{})
+		go s.drain()
+	}
+	return s
+}
+
+// Attach starts a session fed by every event rec records, in recording
+// order. Detach by rec.Tap(nil); Close the session when the run ends.
+func Attach(rec *stm.Recorder, opts Options) *Session {
+	s := New(opts)
+	rec.Tap(func(ev history.Event) { s.Append(ev) })
+	return s
+}
+
+// Append offers one event to the session and returns a verdict
+// snapshot. Sync sessions check in place; Async sessions enqueue
+// (blocking or dropping per DropPolicy) and return the verdict as of
+// now — possibly lagging the enqueued event. Events offered after
+// Close are ignored in both modes, so a Close verdict is final.
+func (s *Session) Append(ev history.Event) Verdict {
+	if s.opts.Mode == Async {
+		return s.appendAsync(ev)
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return s.Verdict()
+	}
+	s.incMu.Lock()
+	s.mu.Lock()
+	s.events++
+	terminal := s.status != StatusOpaque
+	s.mu.Unlock()
+	var v *Violation
+	if !terminal {
+		v = s.check(ev)
+	}
+	s.incMu.Unlock()
+	s.closeMu.RUnlock()
+	if v != nil && s.opts.OnViolation != nil {
+		s.opts.OnViolation(*v)
+	}
+	return s.Verdict()
+}
+
+func (s *Session) appendAsync(ev history.Event) Verdict {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return s.Verdict()
+	}
+	s.mu.Lock()
+	s.events++
+	terminal := s.status != StatusOpaque
+	s.mu.Unlock()
+	if terminal {
+		// The verdict is latched (violated, lossy or failed): count the
+		// event but spare the queue.
+		return s.Verdict()
+	}
+	if s.opts.DropPolicy == Drop {
+		select {
+		case s.ch <- ev:
+		default:
+			s.mu.Lock()
+			s.dropped++
+			if s.status == StatusOpaque {
+				s.status = StatusLossy
+			}
+			s.mu.Unlock()
+		}
+	} else {
+		s.ch <- ev
+	}
+	return s.Verdict()
+}
+
+// drain is the Async checking goroutine.
+func (s *Session) drain() {
+	defer close(s.done)
+	for ev := range s.ch {
+		s.mu.Lock()
+		terminal := s.status != StatusOpaque
+		s.mu.Unlock()
+		if terminal {
+			continue // latched: discard the remaining queue
+		}
+		s.incMu.Lock()
+		v := s.check(ev)
+		s.incMu.Unlock()
+		if v != nil && s.opts.OnViolation != nil {
+			s.opts.OnViolation(*v)
+		}
+	}
+}
+
+// check feeds one event to the incremental checker and publishes the
+// outcome. Callers hold incMu (but not mu).
+func (s *Session) check(ev history.Event) *Violation {
+	res, err := s.inc.Append(ev)
+	var v *Violation
+	if err == nil && !res.Opaque {
+		prefix := s.inc.History().Clone()
+		v = &Violation{
+			PrefixLen: res.PrefixLen,
+			Event:     prefix[len(prefix)-1],
+			Prefix:    prefix,
+		}
+		if !s.opts.DisableDiagnosis {
+			// The diagnosis shares the monitoring SearchContext, so the
+			// prefix re-scan and the per-removed-transaction re-checks
+			// reuse everything interned so far.
+			d, derr := core.Diagnose(prefix, core.Config{
+				Objects:  s.opts.Objects,
+				MaxNodes: s.opts.MaxNodes,
+				Context:  s.inc.Context(),
+			})
+			if derr == nil {
+				v.Diagnosis = d
+				v.Diagnosed = true
+			}
+		}
+	}
+	s.mu.Lock()
+	s.last = res
+	switch {
+	case err != nil:
+		s.status = StatusError
+		s.err = err
+	case v != nil:
+		s.status = StatusViolated
+		s.violation = v
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Verdict returns a snapshot of the session's state. For Async sessions
+// it may lag events still in the queue; Close first for a final word.
+func (s *Session) Verdict() Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Verdict{
+		Status:    s.status,
+		Events:    s.events,
+		Checked:   s.last.Events,
+		Dropped:   s.dropped,
+		PrefixLen: s.last.PrefixLen,
+		Nodes:     s.last.Nodes,
+		FastPath:  s.last.FastPath,
+		Searches:  s.last.Searches,
+		Skipped:   s.last.Skipped,
+		Err:       s.err,
+	}
+}
+
+// Violation returns the recorded violation, or nil. The returned value
+// is shared; treat it as read-only.
+func (s *Session) Violation() *Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.violation
+}
+
+// History returns a snapshot of the history checked so far.
+func (s *Session) History() history.History {
+	s.incMu.Lock()
+	defer s.incMu.Unlock()
+	return s.inc.History().Clone()
+}
+
+// Close stops the session's intake — waiting for any in-flight Sync
+// check, and for an Async drain to finish its queue — and returns the
+// final verdict: events offered afterwards are ignored, so the verdict
+// cannot change once Close has returned. Close is idempotent. Do not
+// call it from an OnViolation callback (the callback runs inside
+// Append's critical section).
+func (s *Session) Close() Verdict {
+	s.closeMu.Lock()
+	first := !s.closed
+	s.closed = true
+	if first && s.opts.Mode == Async {
+		close(s.ch)
+	}
+	s.closeMu.Unlock()
+	if s.opts.Mode == Async {
+		<-s.done
+	}
+	return s.Verdict()
+}

@@ -30,6 +30,7 @@ type Recorder struct {
 
 	mu     sync.Mutex
 	h      history.History
+	tap    func(history.Event)
 	nextTx atomic.Int64
 }
 
@@ -58,9 +59,28 @@ func (r *Recorder) History() history.History {
 	return r.h.Clone()
 }
 
+// Tap registers fn to observe every subsequently recorded event, in
+// recording order. fn runs while the recorder's mutex is held, so it
+// sees exactly the total order of the recorded history with no gaps or
+// reorderings — the property an online opacity monitor needs — but it
+// also serializes every transactional operation for its duration: keep
+// it cheap (enqueue, not check) unless stop-the-world semantics are
+// wanted, and never call back into the Recorder from inside it. A nil
+// fn removes the tap.
+func (r *Recorder) Tap(fn func(history.Event)) {
+	r.mu.Lock()
+	r.tap = fn
+	r.mu.Unlock()
+}
+
 func (r *Recorder) append(evs ...history.Event) {
 	r.mu.Lock()
 	r.h = append(r.h, evs...)
+	if r.tap != nil {
+		for _, e := range evs {
+			r.tap(e)
+		}
+	}
 	r.mu.Unlock()
 }
 

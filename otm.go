@@ -35,6 +35,7 @@ import (
 	"otm/internal/core"
 	"otm/internal/criteria"
 	"otm/internal/history"
+	"otm/internal/monitor"
 	"otm/internal/opg"
 	"otm/internal/spec"
 	"otm/internal/stm"
@@ -97,6 +98,54 @@ func DiagnoseOpacity(h History, cfg CheckConfig) (Diagnosis, error) {
 // internal/core.CheckStrong).
 func CheckStrongOpacity(h History, cfg CheckConfig) (CheckResult, error) {
 	return core.CheckStrong(h, cfg)
+}
+
+// Incremental opacity checking (see internal/core.Incremental).
+type (
+	// IncrementalCheck decides opacity for successive prefixes of one
+	// growing history, reusing search state across appends.
+	IncrementalCheck = core.Incremental
+	// IncrementalCheckResult is its running verdict.
+	IncrementalCheckResult = core.IncrementalResult
+)
+
+// NewIncrementalCheck returns an append-driven opacity checker.
+func NewIncrementalCheck(cfg CheckConfig) *IncrementalCheck {
+	return core.NewIncremental(cfg)
+}
+
+// Online monitoring of live executions (see internal/monitor).
+type (
+	// MonitorSession is one online opacity-monitoring session.
+	MonitorSession = monitor.Session
+	// MonitorOptions configures a monitoring session.
+	MonitorOptions = monitor.Options
+	// MonitorVerdict is a session verdict snapshot.
+	MonitorVerdict = monitor.Verdict
+	// MonitorViolation describes the first observed opacity violation.
+	MonitorViolation = monitor.Violation
+)
+
+// Monitoring modes and buffer-full policies.
+const (
+	MonitorSync        = monitor.Sync
+	MonitorAsync       = monitor.Async
+	MonitorBlock       = monitor.Block
+	MonitorDrop        = monitor.Drop
+	MonitorStatusOK    = monitor.StatusOpaque
+	MonitorStatusBad   = monitor.StatusViolated
+	MonitorStatusLossy = monitor.StatusLossy
+	MonitorStatusError = monitor.StatusError
+)
+
+// NewMonitor starts a monitoring session fed via Append.
+func NewMonitor(opts MonitorOptions) *MonitorSession { return monitor.New(opts) }
+
+// AttachMonitor starts a session fed by every event rec records; a
+// correct engine keeps it opaque, a broken one is flagged at the exact
+// violating event.
+func AttachMonitor(rec *Recorder, opts MonitorOptions) *MonitorSession {
+	return monitor.Attach(rec, opts)
 }
 
 // Criteria reports (see internal/criteria).
