@@ -406,6 +406,67 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorSoak measures a long-running monitored session with
+// and without checkpointed truncation. The workload is bursts of four
+// overlapping committed transactions (every burst boundary quiescent),
+// streamed through a Sync session. With truncation armed the per-event
+// cost is flat in session age; without it each witness revalidation
+// replays the whole history, so the untruncated variant runs far fewer
+// events and still reports a much higher ns/event. cmd/tmbench -soak is
+// the full-trajectory version of this benchmark.
+func BenchmarkMonitorSoak(b *testing.B) {
+	burst := func(next *int) history.History {
+		const width = 4
+		evs := make(history.History, 0, 6*width)
+		base := *next
+		*next += width
+		for i := 0; i < width; i++ {
+			tx := history.TxID(base + i)
+			evs = append(evs, history.Inv(tx, history.ObjID(fmt.Sprintf("x%d", i)), "write", base+i))
+		}
+		for i := 0; i < width; i++ {
+			tx := history.TxID(base + i)
+			obj := history.ObjID(fmt.Sprintf("x%d", i))
+			evs = append(evs,
+				history.Ret(tx, obj, "write", history.OK),
+				history.Inv(tx, obj, "read", nil),
+				history.Ret(tx, obj, "read", base+i))
+		}
+		for i := 0; i < width; i++ {
+			tx := history.TxID(base + i)
+			evs = append(evs, history.TryC(tx), history.Commit(tx))
+		}
+		return evs
+	}
+	run := func(b *testing.B, events, truncAfter int) {
+		total := 0
+		var last monitor.Verdict
+		for i := 0; i < b.N; i++ {
+			sess := monitor.New(monitor.Options{TruncateAfterEvents: truncAfter})
+			next := 1
+			for n := 0; n < events; {
+				for _, ev := range burst(&next) {
+					last = sess.Append(ev)
+					n++
+				}
+			}
+			if last.Status != monitor.StatusOpaque {
+				b.Fatalf("soak workload not certified: %+v", last)
+			}
+			total += last.Events
+			sess.Close()
+		}
+		b.ReportMetric(b.Elapsed().Seconds()/float64(total)*1e9, "ns/event")
+		b.ReportMetric(float64(last.LiveEvents), "live-events")
+		b.ReportMetric(float64(last.Checkpoints), "checkpoints")
+	}
+	b.Run("trunc-20k", func(b *testing.B) { run(b, 20000, 256) })
+	// Untruncated monitoring is O(history) per event: 2k events is
+	// already ~seconds of work, so the session-age contrast with the
+	// 10× longer truncated run is visible directly in ns/event.
+	b.Run("notrunc-2k", func(b *testing.B) { run(b, 2000, 0) })
+}
+
 // BenchmarkRecorder measures the overhead of history recording on a
 // sequential workload (diagnostic; not a paper experiment).
 func BenchmarkRecorder(b *testing.B) {

@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document keyed by benchmark, so CI can archive one machine-readable
+// perf snapshot per commit (BENCH_<sha>.json) and trajectory tooling can
+// diff runs without re-parsing the bench grammar.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -commit abc1234 > BENCH_abc1234.json
+//	benchjson -in bench-smoke.txt -out BENCH_abc1234.json
+//
+// Every metric a benchmark reports — the built-in ns/op, B/op and
+// allocs/op as well as custom b.ReportMetric columns like steps/op or
+// commits/s — lands in the benchmark's metrics map under its unit name.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line, in go test -bench order.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix (e.g. "BenchmarkMonitorSoak/trunc-20k-8").
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in, from the preceding "pkg:"
+	// header line.
+	Pkg        string             `json:"pkg"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	// Commit is the value of -commit, typically the short git SHA.
+	Commit string `json:"commit,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks preserves input order; Index maps "pkg:name" to the
+	// position in Benchmarks for keyed lookup.
+	Benchmarks []Benchmark    `json:"benchmarks"`
+	Index      map[string]int `json:"index"`
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	commit := flag.String("commit", "", "commit identifier to embed in the report")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Commit = *commit
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		err = os.WriteFile(*out, buf, 0o644)
+	} else {
+		_, err = os.Stdout.Write(buf)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// Parse reads go test -bench output and collects every benchmark result
+// line, tracking the pkg/goos/goarch/cpu header lines as they go by.
+// Non-benchmark lines (PASS, ok, test log output) are ignored; a
+// malformed Benchmark... line is an error, not a skip, so a format drift
+// in the bench grammar fails loudly instead of dropping data.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Index: map[string]int{}}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseLine(line, pkg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Index[b.Pkg+":"+b.Name] = len(rep.Benchmarks)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   100   123 ns/op   45 B/op   6 allocs/op   7.5 steps/op
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseLine(line, pkg string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, fmt.Errorf("truncated benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmark line %q: iteration count: %w", line, err)
+	}
+	b := Benchmark{Name: f[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("benchmark line %q: odd value/unit tail", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchmark line %q: value %q: %w", line, rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: otm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStepsPerOp/dstm/k=16-8         	       1	     12345 ns/op	        33.00 steps/op
+BenchmarkMonitorSoak/trunc-20k-8        	       1	 311232268 ns/op	        75.00 checkpoints	       216.0 live-events	     15549 ns/event
+PASS
+ok  	otm	0.555s
+pkg: otm/internal/core
+BenchmarkCheckOpacity/random-8          	     100	    98765 ns/op	    2048 B/op	      12 allocs/op
+PASS
+ok  	otm/internal/core	1.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("headers: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	soak := rep.Benchmarks[rep.Index["otm:BenchmarkMonitorSoak/trunc-20k-8"]]
+	if soak.Pkg != "otm" || soak.Iterations != 1 {
+		t.Errorf("soak = %+v", soak)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 311232268, "checkpoints": 75, "live-events": 216, "ns/event": 15549,
+	} {
+		if got := soak.Metrics[unit]; got != want {
+			t.Errorf("soak %s = %v, want %v", unit, got, want)
+		}
+	}
+	mem := rep.Benchmarks[rep.Index["otm/internal/core:BenchmarkCheckOpacity/random-8"]]
+	if mem.Metrics["B/op"] != 2048 || mem.Metrics["allocs/op"] != 12 {
+		t.Errorf("benchmem metrics = %v", mem.Metrics)
+	}
+	if mem.Pkg != "otm/internal/core" {
+		t.Errorf("pkg header not tracked across sections: %q", mem.Pkg)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\n",                 // no iteration count
+		"BenchmarkX 10 12 ns/op 5\n",   // dangling value
+		"BenchmarkX ten 12 ns/op\n",    // non-numeric iterations
+		"BenchmarkX 10 twelve ns/op\n", // non-numeric value
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", bad)
+		}
+	}
+}

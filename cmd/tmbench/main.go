@@ -11,6 +11,9 @@
 //	tmbench -zombie      # E7/E12 demo: zombie read under gatm vs dstm
 //	tmbench -monitor M   # engine × manager × workload matrix under a
 //	                     # live opacity monitor (M = sync or async)
+//	tmbench -soak        # long monitored session: per-event latency and
+//	                     # retained state over time (see -trunc-after,
+//	                     # -soak-assert)
 package main
 
 import (
@@ -43,8 +46,26 @@ func main() {
 	monitored := flag.String("monitor", "", "run every engine × contention-manager × workload mix under a live opacity monitor: sync or async")
 	goroutines := flag.Int("g", 8, "goroutines for -throughput, -cm and -monitor")
 	txPerG := flag.Int("tx", 0, "transactions per goroutine (default 2000; 25 under -monitor, whose per-event cost grows with history length)")
+	soak := flag.Bool("soak", false, "run a long monitored session and report the per-event latency / retained-state trajectory")
+	soakEvents := flag.Int("soak-events", 100000, "total events for -soak")
+	soakWindowN := flag.Int("soak-window", 5000, "reporting window for -soak, in events")
+	soakBurstN := flag.Int("soak-burst", 4, "concurrent transactions per burst for -soak")
+	soakObjs := flag.Int("soak-k", 8, "distinct objects for -soak")
+	truncAfter := flag.Int("trunc-after", 512, "checkpointed truncation threshold for -soak, in live events (0 = truncation off)")
+	soakAssert := flag.Bool("soak-assert", false, "with -soak: exit nonzero unless latency and retained state stay flat")
 	flag.Parse()
 
+	if *soak {
+		runSoak(soakConfig{
+			events:     *soakEvents,
+			window:     *soakWindowN,
+			burst:      *soakBurstN,
+			objects:    *soakObjs,
+			truncAfter: *truncAfter,
+			assert:     *soakAssert,
+		})
+		return
+	}
 	if *monitored != "" {
 		var mode monitor.Mode
 		switch *monitored {

@@ -146,6 +146,14 @@ type SearchContext struct {
 	// configuration — between registry growths; -1 means not cached.
 	initEmpty stateID
 
+	// enumEpoch salts the problem signature of every reachable-final
+	// enumeration (searcher.enumerate) so no two enumerations ever share
+	// a problem id: a "visited" entry left by one walk would silently
+	// suppress the finals of an identical later walk, whose collector
+	// never saw what the first one sank. Search problems carry salt 0
+	// and keep sharing failure verdicts as before.
+	enumEpoch int32
+
 	stats Stats
 
 	keyBuf []byte
@@ -430,17 +438,28 @@ func (c *SearchContext) stepAtom(atom int32, e history.OpExec) (int32, bool) {
 	return v.next, v.legal
 }
 
-// problemOf interns the signature of one search problem: the number of
-// transactions, the initial state, and per transaction (in placement-
-// index order) its replay signature, commit decision and predecessor
-// bitset. Memo entries are scoped by the resulting id, so two calls
-// share them exactly when they pose the same search problem — the
-// transaction ids themselves are irrelevant to failure verdicts and do
-// not participate. Footprints (and with them the partial-order
-// reduction) are a function of the replay signatures, so they need no
-// separate representation.
-func (c *SearchContext) problemOf(init stateID, sigs []int32, decide []Decision, preds []bitset) int32 {
+// Problem kinds: the leading byte of every problem signature. Memo
+// entries under a search problem mean "this subtree has no witness";
+// under an enumeration problem they mean "this subtree was already
+// enumerated". The kinds give the two disjoint keyspaces in the shared
+// memo table, so neither can ever answer the other's lookups.
+const (
+	problemSearch byte = iota
+	problemEnum
+)
+
+// problemOf interns the signature of one search problem: the problem
+// kind, the number of transactions, the initial state, and per
+// transaction (in placement-index order) its replay signature, commit
+// decision and predecessor bitset. Memo entries are scoped by the
+// resulting id, so two calls share them exactly when they pose the same
+// search problem — the transaction ids themselves are irrelevant to
+// failure verdicts and do not participate. Footprints (and with them the
+// partial-order reduction) are a function of the replay signatures, so
+// they need no separate representation.
+func (c *SearchContext) problemOf(kind byte, salt int32, init stateID, sigs []int32, decide []Decision, preds []bitset) int32 {
 	buf := c.keyBuf[:0]
+	buf = append(buf, kind, byte(salt), byte(salt>>8), byte(salt>>16), byte(salt>>24))
 	n := uint32(len(sigs))
 	buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
 	buf = append(buf, byte(init), byte(init>>8), byte(init>>16), byte(init>>24))
@@ -457,6 +476,20 @@ func (c *SearchContext) problemOf(init stateID, sigs []int32, decide []Decision,
 	c.problems[string(buf)] = id
 	c.stats.Problems++
 	return id
+}
+
+// materialize renders one interned state vector as a durable Objects
+// map: every registered object mapped to its (canonical, immutable)
+// spec.State. The result references no context table, so it survives
+// flushes and resets — checkpoint roots are kept in this form and
+// re-interned per check, precisely because stateIDs do not outlive the
+// tables that issued them.
+func (c *SearchContext) materialize(vid stateID) spec.Objects {
+	out := make(spec.Objects, len(c.objs))
+	for j, id := range c.objs {
+		out[id] = c.atoms.State(c.vecs[vid][j])
+	}
+	return out
 }
 
 // memoIndex builds the inline memo key for placed bitsets of at most two

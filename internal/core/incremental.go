@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"otm/internal/history"
+	"otm/internal/spec"
 )
 
 // IncrementalResult is the running verdict of an Incremental checker: it
@@ -35,6 +36,21 @@ type IncrementalResult struct {
 	// not commit-pending leaves the induced search problem — statuses,
 	// replay signatures, ordering constraints — bit-for-bit identical.
 	Skipped int
+	// Checkpoints counts successful truncations (TryTruncate), and
+	// TruncatedEvents the events collapsed behind the latest checkpoint
+	// in total; Events - TruncatedEvents is the live-suffix length.
+	Checkpoints     int
+	TruncatedEvents int
+	// Roots is the number of reachable final states the current
+	// checkpoint carries (0 while no checkpoint exists: the single
+	// implicit root is the configured initial state). Every prefix check
+	// must fail from all roots before a violation is declared.
+	Roots int
+	// TruncNodes is the total number of enumeration nodes explored by
+	// truncation attempts, successful or not — the amortized price of
+	// keeping the session O(live-suffix). Kept separate from Nodes so
+	// checking cost and checkpointing cost stay individually visible.
+	TruncNodes int
 }
 
 // Incremental decides opacity for successive prefixes of one growing
@@ -80,6 +96,16 @@ type Incremental struct {
 
 	known map[history.TxID]struct{} // transactions already in hint.Order
 	cand  []history.TxID            // scratch for the extended candidate
+
+	// Checkpoint state (see TryTruncate): the reachable final states of
+	// every serialization of the collapsed stable prefix, materialized
+	// as durable Objects maps (merged over cfg.Objects) because stateIDs
+	// do not survive context table flushes. nil means no checkpoint yet —
+	// the single implicit root is cfg.Objects. rootPref is the index of
+	// the root that last admitted a serialization; trying it first keeps
+	// the hint fast path a single replay in the steady state.
+	roots    []spec.Objects
+	rootPref int
 }
 
 // NewIncremental returns a checker for one growing history. A nil
@@ -105,8 +131,10 @@ func (inc *Incremental) Result() IncrementalResult { return inc.res }
 // Err returns the latched error, if any.
 func (inc *Incremental) Err() error { return inc.err }
 
-// History returns the history appended so far as a view (valid across
-// further appends; clone to retain independently).
+// History returns the live suffix as a view: every event appended since
+// the last checkpoint, or since creation while no truncation has
+// happened (valid across further appends but not across TryTruncate;
+// clone to retain independently).
 func (inc *Incremental) History() history.History { return inc.app.History() }
 
 // Context returns the SearchContext the checker runs on (nil on the
@@ -156,40 +184,60 @@ func (inc *Incremental) appendOne(ev history.Event) error {
 }
 
 // check decides the current prefix and folds the outcome into the
-// running result.
+// running result. With a checkpoint in place the prefix is the live
+// suffix and the decomposition of TryTruncate applies: the full history
+// is opaque iff the suffix serializes from at least one checkpoint root,
+// so the roots are tried in turn — last-successful first, carrying the
+// witness hint — under one shared node budget, and only a failure from
+// every root is a violation.
 func (inc *Incremental) check() error {
 	if inc.cfg.DisableMemo {
 		return inc.checkReference()
 	}
 	h := inc.app.History()
-	txs := h.Transactions()
+	txs := inc.app.Transactions()
 	maxNodes := inc.cfg.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = defaultMaxNodes
 	}
 	var nodes int
-	ser, err := FindSerialization(SerializeOptions{
-		Source: h,
-		Txs:    txs,
-		Decide: func(tx history.TxID) Decision {
-			// O(1) from the appender's maintained phases; Check derives
-			// the same decisions from History.Status scans.
-			switch inc.app.Status(tx) {
-			case history.StatusCommitted:
-				return DecideCommitted
-			case history.StatusCommitPending:
-				return DecideBranch
-			default:
-				return DecideAborted
+	hint := inc.candidate(txs)
+	var ser *Serialization
+	var err error
+	for ri := range inc.rootCount() {
+		root := inc.rootAt((inc.rootPref + ri) % inc.rootCount())
+		ser, err = FindSerialization(SerializeOptions{
+			Source: h,
+			Txs:    txs,
+			Decide: func(tx history.TxID) Decision {
+				// O(1) from the appender's maintained phases; Check derives
+				// the same decisions from History.Status scans.
+				switch inc.app.Status(tx) {
+				case history.StatusCommitted:
+					return DecideCommitted
+				case history.StatusCommitPending:
+					return DecideBranch
+				default:
+					return DecideAborted
+				}
+			},
+			// ≺ constraints from the appender's maintained spans: setup
+			// cost scales with the live transaction count, not the
+			// session's event count.
+			RealTimeSpans: inc.app.Spans(),
+			Objects:       root,
+			MaxNodes:      maxNodes,
+			Nodes:         &nodes, // accumulates: one budget across all roots
+			Context:       inc.ctx,
+			Hint:          hint,
+		})
+		if err != nil || ser != nil {
+			if ser != nil {
+				inc.rootPref = (inc.rootPref + ri) % inc.rootCount()
 			}
-		},
-		RealTime: h,
-		Objects:  inc.cfg.Objects,
-		MaxNodes: maxNodes,
-		Nodes:    &nodes,
-		Context:  inc.ctx,
-		Hint:     inc.candidate(txs),
-	})
+			break
+		}
+	}
 	inc.res.Nodes += nodes
 	if nodes == 0 {
 		// The search explores at least one node whenever it runs, so a
@@ -210,6 +258,24 @@ func (inc *Incremental) check() error {
 	}
 	inc.hint = ser
 	return nil
+}
+
+// rootCount returns the number of initial states prefix checks run from:
+// the checkpoint roots, or 1 (the configured initial state) while no
+// checkpoint exists.
+func (inc *Incremental) rootCount() int {
+	if len(inc.roots) == 0 {
+		return 1
+	}
+	return len(inc.roots)
+}
+
+// rootAt returns the initial Objects of root i.
+func (inc *Incremental) rootAt(i int) spec.Objects {
+	if len(inc.roots) == 0 {
+		return inc.cfg.Objects
+	}
+	return inc.roots[i]
 }
 
 // candidate extends the previous witness order with the transactions

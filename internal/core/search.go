@@ -52,6 +52,14 @@ type SerializeOptions struct {
 	// from the transaction spans, so hot callers avoid materializing
 	// the quadratic pair list of History.RealTimeOrder.
 	RealTime history.History
+	// RealTimeSpans, when non-nil, supplies the transaction spans —
+	// indexed like Txs — that RealTime would be scanned for, skipping
+	// the O(events) event scan entirely. Incremental prefix checking
+	// passes the spans its history.Appender maintains per event, which
+	// is what makes the per-check setup cost a function of the
+	// transaction count rather than the history length. Takes
+	// precedence over RealTime.
+	RealTimeSpans []history.Span
 	// Objects are the initial object states; nil entries default to
 	// integer registers initialized to 0.
 	Objects spec.Objects
@@ -83,6 +91,13 @@ type SerializeOptions struct {
 	// differentially tested against and should not be set on production
 	// paths.
 	DisableMemo bool
+
+	// enumerate switches the searcher from witness finding to
+	// reachable-final-state enumeration (see enumerateFinals). It scopes
+	// the memo under a distinct problem kind: enumeration entries mean
+	// "subtree already enumerated", not "subtree has no witness", and
+	// the two must never answer each other's lookups.
+	enumerate bool
 }
 
 // Serialization is the successful outcome of FindSerialization.
@@ -229,7 +244,9 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 			s.preds[j].set(i)
 		}
 	}
-	if o.RealTime != nil {
+	if o.RealTimeSpans != nil {
+		s.addSpanPreds(o.RealTimeSpans)
+	} else if o.RealTime != nil {
 		s.addRealTimePreds(o.RealTime)
 	}
 
@@ -242,7 +259,32 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 	// A nil Objects map reads like an empty one, so no defaulting
 	// allocation is needed.
 	s.init = ctx.initialState(o.Objects)
-	s.problem = ctx.problemOf(s.init, s.sigs, s.decide, s.preds)
+	kind, salt := byte(problemSearch), int32(0)
+	if o.enumerate {
+		ctx.enumEpoch++
+		kind, salt = problemEnum, ctx.enumEpoch
+	}
+	s.problem = ctx.problemOf(kind, salt, s.init, s.sigs, s.decide, s.preds)
+}
+
+// addSpanPreds sets the predecessor bits induced by the real-time order,
+// from caller-maintained spans indexed like s.txs: a completed
+// transaction precedes exactly the transactions whose span starts after
+// its ends. Identical constraints to addRealTimePreds, without its
+// O(events) span-derivation scan.
+func (s *searcher) addSpanPreds(spans []history.Span) {
+	n := s.n
+	for i := 0; i < n; i++ {
+		if !spans[i].Completed {
+			continue
+		}
+		last := spans[i].Last
+		for j := 0; j < n; j++ {
+			if i != j && spans[j].First > last {
+				s.preds[j].set(i)
+			}
+		}
+	}
 }
 
 // addRealTimePreds sets the predecessor bits induced by the real-time
@@ -496,4 +538,83 @@ func FindSerialization(o SerializeOptions) (*Serialization, error) {
 		return nil, ErrSearchLimit
 	}
 	return nil, nil
+}
+
+// enumerate visits every legal serialization of the problem (one
+// canonical representative per commuting-swap equivalence class — the
+// classes agree on the final state, so the reduction loses nothing) and
+// sinks the interned final object-state vector of each. States already
+// enumerated are recorded in the memo under the enumeration problem kind
+// and skipped: the reachable-final set below a (placed, last, state)
+// node is a pure function of the node, so a second visit contributes
+// nothing new. Returns outTruncated when the node budget runs out
+// (post-order memo insertion keeps truncated subtrees out of the visited
+// set, exactly as the search path keeps them out of the failure memo);
+// outFailed otherwise — enumeration never stops early, so outFound is
+// never produced.
+func (s *searcher) enumerate(placed bitset, count int, vid stateID, last int, sink func(stateID)) outcome {
+	if *s.nodes >= s.maxNodes {
+		return outTruncated
+	}
+	*s.nodes++
+	if count == s.n {
+		sink(vid)
+		return outFailed
+	}
+	if s.ctx.memoHas(s.problem, placed, last, vid) {
+		return outFailed
+	}
+	for i := 0; i < s.n; i++ {
+		if placed.has(i) || !placed.covers(s.preds[i]) || s.prunable(i, last) {
+			continue
+		}
+		next, legal := s.ctx.step(vid, s.sigs[i], s.execs[i])
+		if !legal {
+			continue
+		}
+		if s.decide[i] != DecideCommitted {
+			// Aborted placements leave no state trace; DecideBranch never
+			// reaches enumeration (checkpointed prefixes are completed).
+			next = vid
+		}
+		placed.set(i)
+		out := s.enumerate(placed, count+1, next, i, sink)
+		placed.clear(i)
+		if out == outTruncated {
+			return outTruncated
+		}
+	}
+	s.ctx.memoInsert(s.problem, placed, last, vid)
+	return outFailed
+}
+
+// enumerateFinals runs the reachable-final-state enumeration for a fully
+// decided problem (no DecideBranch transactions): sink receives the
+// interned final object-state vector of every legal serialization of
+// o.Txs, deduplicated per distinct vector by the caller if desired (the
+// walk itself may sink one vector several times via distinct
+// serialization classes). It returns ErrSearchLimit when the node budget
+// is exhausted before the enumeration completes — the caller must then
+// discard everything sunk, since uncovered serializations may reach
+// states never reported.
+func enumerateFinals(o SerializeOptions, maxNodes int, nodes *int, sink func(stateID)) error {
+	o.enumerate = true
+	if len(o.Txs) == 0 {
+		return nil
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = NewSearchContext()
+	}
+	s := &ctx.srch
+	if s.active {
+		s = &searcher{}
+	}
+	s.active = true
+	defer func() { s.active = false }()
+	s.setup(ctx, o, maxNodes, nodes)
+	if s.enumerate(s.placed, 0, s.init, -1, sink) == outTruncated {
+		return ErrSearchLimit
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"otm/internal/core"
 	"otm/internal/gen"
+	"otm/internal/history"
 )
 
 // TestMemoizedMatchesReference is the engine half of the differential
@@ -155,6 +156,58 @@ func TestUnifiedBudgetIsSharedAndExact(t *testing.T) {
 		if short.Nodes != full.Nodes-1 {
 			t.Errorf("history %d: exhausted run counted %d nodes, budget was %d",
 				i, short.Nodes, full.Nodes-1)
+		}
+	}
+}
+
+// TestFindSerializationDefaults: the exported entry point fills in every
+// optional knob — empty Txs short-circuits, and a call with no MaxNodes,
+// Nodes counter or Context gets the defaults and a private context.
+func TestFindSerializationDefaults(t *testing.T) {
+	if ser, err := core.FindSerialization(core.SerializeOptions{}); err != nil || ser == nil || len(ser.Order) != 0 {
+		t.Fatalf("empty options: ser=%v err=%v, want the empty serialization", ser, err)
+	}
+	h := history.History{
+		history.Inv(1, "x", "write", 1), history.Ret(1, "x", "write", history.OK),
+		history.TryC(1), history.Commit(1),
+	}.MustWellFormed()
+	ser, err := core.FindSerialization(core.SerializeOptions{
+		Source: h,
+		Txs:    h.Transactions(),
+		Decide: func(history.TxID) core.Decision { return core.DecideCommitted },
+	})
+	if err != nil || ser == nil {
+		t.Fatalf("defaults path: ser=%v err=%v", ser, err)
+	}
+}
+
+// TestFindSerializationManyTxs: above 32 transactions the searcher
+// builds (and on reuse, rebuilds) a transaction index map; a chain of 40
+// value-linked writers has exactly one serialization, found twice on one
+// shared context.
+func TestFindSerializationManyTxs(t *testing.T) {
+	var h history.History
+	for i := 1; i <= 40; i++ {
+		tx := history.TxID(i)
+		h = append(h,
+			history.Inv(tx, "x", "read", nil), history.Ret(tx, "x", "read", i-1),
+			history.Inv(tx, "x", "write", i), history.Ret(tx, "x", "write", history.OK),
+			history.TryC(tx), history.Commit(tx))
+	}
+	h = h.MustWellFormed()
+	ctx := core.NewSearchContext()
+	for round := range 2 {
+		ser, err := core.FindSerialization(core.SerializeOptions{
+			Source:  h,
+			Txs:     h.Transactions(),
+			Decide:  func(history.TxID) core.Decision { return core.DecideCommitted },
+			Context: ctx,
+		})
+		if err != nil || ser == nil {
+			t.Fatalf("round %d: ser=%v err=%v", round, ser, err)
+		}
+		if len(ser.Order) != 40 {
+			t.Fatalf("round %d: |order| = %d, want 40", round, len(ser.Order))
 		}
 	}
 }

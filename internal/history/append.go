@@ -1,5 +1,20 @@
 package history
 
+import "fmt"
+
+// Span is one transaction's extent in a history: the indexes of its
+// first and last events so far, and whether it has completed (its last
+// event is a commit or abort). The real-time order ≺H is a pure function
+// of spans — a completed transaction precedes exactly the transactions
+// whose first event follows its last — which is why the Appender
+// maintains them: consumers that re-check every growing prefix derive
+// the ≺H constraints from the maintained spans instead of re-scanning
+// the whole event sequence per check.
+type Span struct {
+	First, Last int
+	Completed   bool
+}
+
 // Appender grows a history one event at a time while maintaining
 // well-formedness incrementally: Append rejects (and does not record) any
 // event that would make the history ill-formed, using the same
@@ -10,11 +25,22 @@ package history
 // live STM run into one Appender and hands every prefix to the
 // incremental checker without ever re-validating from scratch.
 //
+// Alongside the phase machine the Appender maintains the transaction
+// list (first-event order) and per-transaction spans, so Transactions
+// and Spans are O(1) views rather than per-call scans, and it supports
+// Truncate: dropping a fully-completed prefix and re-basing the
+// remainder, the history-layer half of checkpointed monitor truncation.
+//
 // The zero Appender is not ready for use; call NewAppender.
 type Appender struct {
 	h        History
 	phases   map[TxID]txPhase
 	pendings map[TxID]Event
+
+	txs     []TxID         // live transactions, in first-event order
+	spanIdx map[TxID]int32 // index into txs/spans
+	spans   []Span
+	open    int // live transactions not yet completed
 }
 
 // NewAppender returns an empty Appender.
@@ -22,6 +48,7 @@ func NewAppender() *Appender {
 	return &Appender{
 		phases:   make(map[TxID]txPhase),
 		pendings: make(map[TxID]Event),
+		spanIdx:  make(map[TxID]int32),
 	}
 }
 
@@ -76,8 +103,27 @@ func (a *Appender) Append(ev Event) error {
 		}
 		a.phases[ev.Tx] = phaseAborted
 	}
+	a.record(ev, i)
 	a.h = append(a.h, ev)
 	return nil
+}
+
+// record folds one accepted event into the transaction list and spans.
+func (a *Appender) record(ev Event, i int) {
+	t, ok := a.spanIdx[ev.Tx]
+	if !ok {
+		t = int32(len(a.txs))
+		a.spanIdx[ev.Tx] = t
+		a.txs = append(a.txs, ev.Tx)
+		a.spans = append(a.spans, Span{First: i})
+		a.open++
+	}
+	sp := &a.spans[t]
+	sp.Last = i
+	if ev.Kind == KindCommit || ev.Kind == KindAbort {
+		sp.Completed = true
+		a.open--
+	}
 }
 
 // Len returns the number of events appended so far.
@@ -85,12 +131,31 @@ func (a *Appender) Len() int { return len(a.h) }
 
 // History returns the history built so far as a view: the slice shares
 // the Appender's backing array and stays valid across further Appends
-// (they never write below the returned length) but not across Reset.
-// Use Snapshot for an independent copy.
+// (they never write below the returned length) but not across Reset or
+// Truncate. Use Snapshot for an independent copy.
 func (a *Appender) History() History { return a.h }
 
 // Snapshot returns an independent copy of the history built so far.
 func (a *Appender) Snapshot() History { return a.h.Clone() }
+
+// Transactions returns the transactions of the history built so far, in
+// order of their first event, exactly as History.Transactions would —
+// but as an O(1) view of the maintained list instead of an O(events)
+// scan. The slice is valid until the next Append, Truncate or Reset and
+// must not be mutated.
+func (a *Appender) Transactions() []TxID { return a.txs }
+
+// Spans returns the per-transaction spans, indexed like Transactions.
+// Same view semantics as Transactions.
+func (a *Appender) Spans() []Span { return a.spans }
+
+// Open returns the number of transactions that have started but not yet
+// completed (no commit or abort event). A history with Open() == 0 is a
+// quiescent point: every later event belongs to a transaction whose
+// first event follows every current transaction's last, so the real-time
+// order forces all current transactions before all future ones — the
+// stability condition checkpointed truncation relies on.
+func (a *Appender) Open() int { return a.open }
 
 // Status returns the status of tx in the history built so far, exactly
 // as History.Status would report it, but in O(1) from the maintained
@@ -108,6 +173,54 @@ func (a *Appender) Status(tx TxID) Status {
 	}
 }
 
+// Truncate drops the first n events and re-bases the remainder as a
+// standalone history, as if only events n.. had ever been appended. The
+// cut must be stable: no transaction may have events on both sides, and
+// every transaction entirely inside the dropped prefix must have
+// completed — Truncate returns an error (and changes nothing) otherwise.
+//
+// Dropped transactions are forgotten entirely, including their terminal
+// phases: a later event reusing a dropped transaction's identifier is
+// treated as a fresh transaction rather than rejected as following a
+// commit/abort. Bounding monitor state requires forgetting; a correct TM
+// never reuses transaction identifiers (the model gives retries fresh
+// ones), so only already-buggy streams can exploit the blind spot.
+//
+// Histories previously returned by History become invalid, as with
+// Reset; Snapshot copies are unaffected.
+func (a *Appender) Truncate(n int) error {
+	if n < 0 || n > len(a.h) {
+		return fmt.Errorf("history: truncate %d of %d events", n, len(a.h))
+	}
+	if n == 0 {
+		return nil
+	}
+	for t, sp := range a.spans {
+		if sp.First < n && (sp.Last >= n || !sp.Completed) {
+			return fmt.Errorf("history: truncation at %d is not a stable cut: T%d spans it or is incomplete",
+				n, int(a.txs[t]))
+		}
+	}
+	a.h = append(a.h[:0], a.h[n:]...)
+	keep := 0
+	for t, sp := range a.spans {
+		tx := a.txs[t]
+		if sp.First < n {
+			delete(a.spanIdx, tx)
+			delete(a.phases, tx)
+			delete(a.pendings, tx)
+			continue
+		}
+		a.txs[keep] = tx
+		a.spans[keep] = Span{First: sp.First - n, Last: sp.Last - n, Completed: sp.Completed}
+		a.spanIdx[tx] = int32(keep)
+		keep++
+	}
+	a.txs = a.txs[:keep]
+	a.spans = a.spans[:keep]
+	return nil
+}
+
 // Reset discards the history and all transaction state, retaining the
 // allocated capacity for reuse. Histories previously returned by History
 // become invalid; Snapshot copies are unaffected.
@@ -115,4 +228,8 @@ func (a *Appender) Reset() {
 	a.h = a.h[:0]
 	clear(a.phases)
 	clear(a.pendings)
+	a.txs = a.txs[:0]
+	a.spans = a.spans[:0]
+	clear(a.spanIdx)
+	a.open = 0
 }

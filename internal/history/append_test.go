@@ -154,3 +154,149 @@ func TestAppenderViewAndReset(t *testing.T) {
 		t.Errorf("Status(7) = %v, want commit-pending", got)
 	}
 }
+
+// TestAppenderSpansMatchScan: the maintained Transactions/Spans/Open
+// views agree, after every event, with a brute-force scan of the history
+// built so far.
+func TestAppenderSpansMatchScan(t *testing.T) {
+	evs := History{
+		Inv(1, "x", "read", nil), Ret(1, "x", "read", 0),
+		Inv(2, "x", "write", 1), TryA(3), Abort(3),
+		Ret(2, "x", "write", OK), TryC(2), Commit(2),
+		Inv(4, "y", "read", nil), Abort(4),
+		TryC(1), Commit(1),
+	}
+	a := NewAppender()
+	for i, ev := range evs {
+		if err := a.Append(ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		h := a.History()
+		wantTxs := h.Transactions()
+		gotTxs := a.Transactions()
+		if len(gotTxs) != len(wantTxs) {
+			t.Fatalf("after event %d: Transactions() = %v, scan says %v", i, gotTxs, wantTxs)
+		}
+		open := 0
+		for ti, tx := range wantTxs {
+			if gotTxs[ti] != tx {
+				t.Fatalf("after event %d: Transactions() = %v, scan says %v", i, gotTxs, wantTxs)
+			}
+			want := Span{First: -1}
+			for j, e := range h {
+				if e.Tx != tx {
+					continue
+				}
+				if want.First == -1 {
+					want.First = j
+				}
+				want.Last = j
+				want.Completed = e.Kind == KindCommit || e.Kind == KindAbort
+			}
+			if !want.Completed {
+				open++
+			}
+			if got := a.Spans()[ti]; got != want {
+				t.Fatalf("after event %d: Spans()[T%d] = %+v, scan says %+v", i, int(tx), got, want)
+			}
+		}
+		if got := a.Open(); got != open {
+			t.Fatalf("after event %d: Open() = %d, scan says %d", i, got, open)
+		}
+	}
+}
+
+// TestAppenderTruncate: a stable cut re-bases the remainder exactly as
+// if only the suffix had ever been appended.
+func TestAppenderTruncate(t *testing.T) {
+	prefix := History{
+		Inv(1, "x", "write", 1), Ret(1, "x", "write", OK), TryC(1), Commit(1),
+		TryA(2), Abort(2),
+	}
+	suffix := History{
+		Inv(3, "x", "read", nil), Ret(3, "x", "read", 1),
+		Inv(4, "y", "write", 2), Ret(4, "y", "write", OK), TryC(4), Commit(4),
+	}
+	a := NewAppender()
+	for _, ev := range append(prefix[:len(prefix):len(prefix)], suffix...) {
+		if err := a.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Truncate(len(prefix)); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: a fresh appender fed only the suffix.
+	ref := NewAppender()
+	for _, ev := range suffix {
+		if err := ref.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.History().String() != ref.History().String() {
+		t.Errorf("truncated history:\n%s\nwant:\n%s", a.History().Format(), ref.History().Format())
+	}
+	if got, want := a.Transactions(), ref.Transactions(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Transactions() = %v, want %v", got, want)
+	}
+	for i, want := range ref.Spans() {
+		if got := a.Spans()[i]; got != want {
+			t.Errorf("Spans()[%d] = %+v, want %+v", i, got, want)
+		}
+	}
+	if got, want := a.Open(), ref.Open(); got != want {
+		t.Errorf("Open() = %d, want %d", got, want)
+	}
+	// Dropped transactions are forgotten: their identifiers read as fresh.
+	if got := a.Status(1); got != StatusLive {
+		t.Errorf("Status(dropped T1) = %v, want live (forgotten)", got)
+	}
+	// The appender keeps working after a truncation.
+	if err := a.Append(TryC(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(Commit(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Open(); got != 0 {
+		t.Errorf("Open() after completing T3 = %d, want 0", got)
+	}
+}
+
+// TestAppenderTruncateRejectsUnstableCut: cuts that split a transaction
+// or drop an incomplete one are rejected and change nothing.
+func TestAppenderTruncateRejectsUnstableCut(t *testing.T) {
+	a := NewAppender()
+	evs := History{
+		Inv(1, "x", "write", 1), Ret(1, "x", "write", OK), // T1 live
+		Inv(2, "y", "write", 2), Ret(2, "y", "write", OK), TryC(2), Commit(2),
+		TryC(1), Commit(1),
+	}
+	for _, ev := range evs {
+		if err := a.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{2, 6} { // drops live T1 prefix / splits T1
+		if err := a.Truncate(n); err == nil {
+			t.Errorf("Truncate(%d) across live T1 succeeded, want error", n)
+		}
+	}
+	if err := a.Truncate(9); err == nil {
+		t.Error("Truncate beyond Len succeeded, want error")
+	}
+	if a.Len() != len(evs) {
+		t.Fatalf("failed truncation changed the history: Len = %d", a.Len())
+	}
+	if err := a.Truncate(0); err != nil {
+		t.Errorf("Truncate(0) = %v, want no-op", err)
+	}
+	// The whole history is now stable; the full cut empties the appender.
+	if err := a.Truncate(a.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 0 || len(a.Transactions()) != 0 || a.Open() != 0 {
+		t.Errorf("full truncation left state: Len=%d txs=%v open=%d",
+			a.Len(), a.Transactions(), a.Open())
+	}
+}

@@ -123,6 +123,22 @@ type Options struct {
 	// DisableDiagnosis skips the core.Diagnose run on the violating
 	// prefix (the Violation then carries only the prefix and event).
 	DisableDiagnosis bool
+	// TruncateAfterEvents and TruncateAfterTxs arm automatic
+	// checkpointed truncation: whenever the live suffix (events since
+	// the last checkpoint) reaches TruncateAfterEvents events or
+	// TruncateAfterTxs transactions, the session attempts
+	// core.Incremental.TryTruncate at the next quiescent point,
+	// collapsing the suffix into its reachable final states so per-event
+	// cost stays O(live-suffix) no matter how long the session runs.
+	// Both zero (the default) disables truncation — the session retains
+	// the full history. A threshold that is never reached at a quiescent
+	// point simply never truncates; declined attempts are free.
+	TruncateAfterEvents int
+	TruncateAfterTxs    int
+	// TruncateMaxNodes bounds each truncation attempt's enumeration
+	// (0 = the core default). Blown budgets abandon the attempt, they do
+	// not fail the session.
+	TruncateMaxNodes int
 	// OnViolation, if non-nil, is called once, with the violation, when
 	// the verdict flips. It must never call Close (it runs inside the
 	// session's intake critical section). In Sync mode it runs on the
@@ -134,11 +150,14 @@ type Options struct {
 
 // Violation describes the first opacity violation a session observed.
 type Violation struct {
-	// PrefixLen is the length of the shortest non-opaque prefix; Event
-	// is its last event — the one that made the violation observable.
+	// PrefixLen is the length of the shortest non-opaque prefix (a
+	// global event count, checkpoints included); Event is its last
+	// event — the one that made the violation observable.
 	PrefixLen int
 	Event     history.Event
-	// Prefix is an independent snapshot of that prefix.
+	// Prefix is an independent snapshot of the retained portion of that
+	// prefix: the whole prefix for a session that never truncated, the
+	// live suffix since the last checkpoint otherwise.
 	Prefix history.History
 	// Diagnosis names the implicated transactions (valid when Diagnosed
 	// is true; diagnosis is skipped by DisableDiagnosis and abandoned on
@@ -169,6 +188,17 @@ type Verdict struct {
 	FastPath int
 	Searches int
 	Skipped  int
+	// Checkpoints, TruncatedEvents, Roots and TruncNodes mirror the
+	// checkpointed-truncation counters of core.IncrementalResult:
+	// successful truncations, events collapsed behind checkpoints, the
+	// current checkpoint's reachable-state count, and the enumeration
+	// nodes spent on truncation attempts. LiveEvents is the live-suffix
+	// length — the state the session actually holds.
+	Checkpoints     int
+	TruncatedEvents int
+	LiveEvents      int
+	Roots           int
+	TruncNodes      int
 	// Err is the checking error when Status is StatusError.
 	Err error
 }
@@ -320,23 +350,32 @@ func (s *Session) drain() {
 // outcome. Callers hold incMu (but not mu).
 func (s *Session) check(ev history.Event) *Violation {
 	res, err := s.inc.Append(ev)
+	if err == nil && res.Opaque && s.truncateDue() {
+		// Auto-truncation: TryTruncate declines for free when the suffix
+		// is not quiescent or too expensive to collapse; only internal
+		// inconsistencies surface as errors (and latch, like any checking
+		// error).
+		if _, terr := s.inc.TryTruncate(s.opts.TruncateMaxNodes); terr != nil {
+			err = terr
+		}
+		res = s.inc.Result()
+	}
 	var v *Violation
 	if err == nil && !res.Opaque {
-		prefix := s.inc.History().Clone()
+		suffix := s.inc.History().Clone()
 		v = &Violation{
 			PrefixLen: res.PrefixLen,
-			Event:     prefix[len(prefix)-1],
-			Prefix:    prefix,
+			Event:     suffix[len(suffix)-1],
+			Prefix:    suffix,
 		}
 		if !s.opts.DisableDiagnosis {
-			// The diagnosis shares the monitoring SearchContext, so the
-			// prefix re-scan and the per-removed-transaction re-checks
-			// reuse everything interned so far.
-			d, derr := core.Diagnose(prefix, core.Config{
-				Objects:  s.opts.Objects,
-				MaxNodes: s.opts.MaxNodes,
-				Context:  s.inc.Context(),
-			})
+			// The checkpoint-aware diagnosis judges the retained suffix
+			// from the checkpoint roots (the whole history, from the
+			// configured initial state, when the session never
+			// truncated), sharing the monitoring SearchContext so the
+			// per-removed-transaction re-checks reuse everything interned
+			// so far.
+			d, derr := s.inc.Diagnose()
 			if derr == nil {
 				v.Diagnosis = d
 				v.Diagnosed = true
@@ -357,22 +396,34 @@ func (s *Session) check(ev history.Event) *Violation {
 	return v
 }
 
+// truncateDue reports whether the live suffix has outgrown the
+// configured truncation thresholds. Callers hold incMu.
+func (s *Session) truncateDue() bool {
+	ae, at := s.opts.TruncateAfterEvents, s.opts.TruncateAfterTxs
+	return (ae > 0 && s.inc.LiveLen() >= ae) || (at > 0 && s.inc.LiveTxs() >= at)
+}
+
 // Verdict returns a snapshot of the session's state. For Async sessions
 // it may lag events still in the queue; Close first for a final word.
 func (s *Session) Verdict() Verdict {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Verdict{
-		Status:    s.status,
-		Events:    s.events,
-		Checked:   s.last.Events,
-		Dropped:   s.dropped,
-		PrefixLen: s.last.PrefixLen,
-		Nodes:     s.last.Nodes,
-		FastPath:  s.last.FastPath,
-		Searches:  s.last.Searches,
-		Skipped:   s.last.Skipped,
-		Err:       s.err,
+		Status:          s.status,
+		Events:          s.events,
+		Checked:         s.last.Events,
+		Dropped:         s.dropped,
+		PrefixLen:       s.last.PrefixLen,
+		Nodes:           s.last.Nodes,
+		FastPath:        s.last.FastPath,
+		Searches:        s.last.Searches,
+		Skipped:         s.last.Skipped,
+		Checkpoints:     s.last.Checkpoints,
+		TruncatedEvents: s.last.TruncatedEvents,
+		LiveEvents:      s.last.Events - s.last.TruncatedEvents,
+		Roots:           s.last.Roots,
+		TruncNodes:      s.last.TruncNodes,
+		Err:             s.err,
 	}
 }
 
@@ -384,7 +435,9 @@ func (s *Session) Violation() *Violation {
 	return s.violation
 }
 
-// History returns a snapshot of the history checked so far.
+// History returns a snapshot of the retained history: everything checked
+// so far for a session that never truncated, the live suffix since the
+// last checkpoint otherwise.
 func (s *Session) History() history.History {
 	s.incMu.Lock()
 	defer s.incMu.Unlock()
