@@ -17,6 +17,10 @@ pkg: otm/internal/core
 BenchmarkCheckOpacity/random-8          	     100	    98765 ns/op	    2048 B/op	      12 allocs/op
 PASS
 ok  	otm/internal/core	1.2s
+pkg: otm
+BenchmarkCheckOpacityBatch/mixed/shared4-8         	      60	  23674066 ns/op	         0.1404 memo-hit-rate	     10853 nodes/corpus	       685.0 states-interned	 6933293 B/op	   21130 allocs/op
+PASS
+ok  	otm	2.1s
 `
 
 func TestParse(t *testing.T) {
@@ -27,8 +31,8 @@ func TestParse(t *testing.T) {
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
 		t.Errorf("headers: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
 	}
 	soak := rep.Benchmarks[rep.Index["otm:BenchmarkMonitorSoak/trunc-20k-8"]]
 	if soak.Pkg != "otm" || soak.Iterations != 1 {
@@ -47,6 +51,12 @@ func TestParse(t *testing.T) {
 	}
 	if mem.Pkg != "otm/internal/core" {
 		t.Errorf("pkg header not tracked across sections: %q", mem.Pkg)
+	}
+	// The shared-table batch variants report fractional and dashed custom
+	// units; both must survive the round trip under their exact names.
+	sh := rep.Benchmarks[rep.Index["otm:BenchmarkCheckOpacityBatch/mixed/shared4-8"]]
+	if sh.Metrics["memo-hit-rate"] != 0.1404 || sh.Metrics["states-interned"] != 685 {
+		t.Errorf("shared batch metrics = %v", sh.Metrics)
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	opacheck [-counter obj] [-graph] [-demo name] [history...]
-//	opacheck -parallel N [-counter obj] [-maxnodes B] [file...]
+//	opacheck -parallel N [-shared] [-counter obj] [-maxnodes B] [file...]
 //
 // Histories are given as arguments or read from stdin (one per line; see
 // internal/history.Parse for the grammar), e.g.:
@@ -34,9 +34,16 @@
 //	opacheck -parallel 8 corpus.txt            # nodes= from the unified engine
 //	opacheck -parallel 8 -reference corpus.txt # nodes= from the reference
 //
-// A summary — including the total node count and, for the unified
-// engine, the interned-state and cache-hit counters of the per-worker
-// search contexts — goes to stderr. The exit status is 1 if any line
+// -shared (batch mode, unified engine only) backs every worker by one
+// pool-wide set of concurrent search tables instead of a private table
+// set per worker: each distinct state is interned once for the whole
+// batch and memo/transition entries are reused across workers. It is
+// incompatible with -reference, which uses no search context at all.
+//
+// A summary — the total node count, plus the engine's table counters:
+// per-worker search contexts by default, the pool-wide shared tables
+// under -shared, and an explicit "no context counters" note under
+// -reference — goes to stderr. The exit status is 1 if any line
 // errored (parse failure, malformed history, search-budget exhaustion),
 // else 0; non-opaque is a verdict, not an error. SIGINT/SIGTERM cancel
 // the batch gracefully: already-admitted histories still get their
@@ -92,6 +99,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "batch mode: check histories from files/stdin with N concurrent workers")
 	maxNodes := flag.Int("maxnodes", 0, "batch mode: per-history search-node budget (0 = checker default)")
 	reference := flag.Bool("reference", false, "batch mode: use the per-completion reference engine instead of the unified search (for node-count comparisons)")
+	shared := flag.Bool("shared", false, "batch mode: share one pool-wide set of search tables across all workers (default: one private table set per worker)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
@@ -126,13 +134,21 @@ func run() int {
 		}()
 	}
 
+	if *shared && *parallel <= 0 {
+		fmt.Fprintln(os.Stderr, "opacheck: -shared requires -parallel")
+		return 2
+	}
+	if *shared && *reference {
+		fmt.Fprintln(os.Stderr, "opacheck: -shared is incompatible with -reference (the reference engine uses no search context)")
+		return 2
+	}
 	if *parallel > 0 {
 		if *graph || *explain || *demo != "" {
 			fmt.Fprintln(os.Stderr, "opacheck: -parallel is incompatible with -graph, -explain and -demo")
 			return 2
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		code := runBatch(ctx, os.Stdout, *parallel, *maxNodes, *reference, *counterObjs, flag.Args())
+		code := runBatch(ctx, os.Stdout, os.Stderr, *parallel, *maxNodes, *reference, *shared, *counterObjs, flag.Args())
 		stop()
 		return code
 	}
@@ -185,12 +201,13 @@ func counterObjects(counterObjs string) spec.Objects {
 
 // runBatch is the -parallel mode: stream histories from the given files
 // (or stdin), check them on a checkpool of the given width, and print one
-// verdict line per input line, in input order. Cancelling ctx (SIGINT /
-// SIGTERM) stops admission; verdicts for already-admitted histories are
-// still printed. It returns the process exit code.
-func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, reference bool, counterObjs string, paths []string) int {
+// verdict line per input line, in input order; the summary lines go to
+// errW. Cancelling ctx (SIGINT / SIGTERM) stops admission; verdicts for
+// already-admitted histories are still printed. It returns the process
+// exit code.
+func runBatch(ctx context.Context, out, errW io.Writer, workers, maxNodes int, reference, shared bool, counterObjs string, paths []string) int {
 	var stats core.Stats
-	pool := checkpool.New(checkpool.Options{
+	opts := checkpool.Options{
 		Workers: workers,
 		Config: core.Config{
 			Objects:     counterObjects(counterObjs),
@@ -198,7 +215,11 @@ func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, referen
 			DisableMemo: reference,
 		},
 		Stats: &stats,
-	})
+	}
+	if shared {
+		opts.SharedContext = core.NewSharedTables()
+	}
+	pool := checkpool.New(opts)
 
 	in := make(chan checkpool.Item)
 	go func() {
@@ -240,14 +261,23 @@ func runBatch(ctx context.Context, out io.Writer, workers, maxNodes int, referen
 		}
 	}
 	w.Flush()
-	fmt.Fprintf(os.Stderr, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors; %d search nodes\n",
+	fmt.Fprintf(errW, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors; %d search nodes\n",
 		opaque+nonOpaque+errored, opaque, nonOpaque, errored, totalNodes)
-	if !reference {
-		fmt.Fprintf(os.Stderr, "opacheck: contexts: %d states interned (%d object atoms), %d memo entries (%d hits), %d transitions cached (%d hits)\n",
+	// The counter line names the tables it reports on. The reference
+	// engine runs without search contexts, so it gets an explicit note
+	// instead of a zeroed counter line mislabeled as context stats.
+	switch {
+	case reference:
+		fmt.Fprintln(errW, "opacheck: reference engine: no search contexts (context counters not collected)")
+	case shared:
+		fmt.Fprintf(errW, "opacheck: shared tables: %d states interned (%d object atoms), %d memo entries (%d hits, %d misses), %d transitions cached (%d hits), %d rebuilds\n",
+			stats.States, stats.Atoms, stats.MemoEntries, stats.MemoHits, stats.MemoMisses, stats.TransMisses, stats.TransHits, stats.Flushes)
+	default:
+		fmt.Fprintf(errW, "opacheck: contexts: %d states interned (%d object atoms), %d memo entries (%d hits), %d transitions cached (%d hits)\n",
 			stats.States, stats.Atoms, stats.MemoEntries, stats.MemoHits, stats.TransMisses, stats.TransHits)
 	}
 	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "opacheck: interrupted; remaining input skipped")
+		fmt.Fprintln(errW, "opacheck: interrupted; remaining input skipped")
 		return 1
 	}
 	if errored > 0 {

@@ -85,14 +85,18 @@ func TestRunBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, reference := range []bool{false, true} {
-		var out strings.Builder
-		if code := runBatch(context.Background(), &out, 4, 0, reference, "", []string{path}); code != 1 {
-			t.Errorf("reference=%v: exit code %d, want 1 (one line fails to parse)", reference, code)
+	for _, mode := range []struct {
+		name              string
+		reference, shared bool
+	}{{name: "default"}, {name: "reference", reference: true}, {name: "shared", shared: true}} {
+		var out, errOut strings.Builder
+		code := runBatch(context.Background(), &out, &errOut, 4, 0, mode.reference, mode.shared, "", []string{path})
+		if code != 1 {
+			t.Errorf("%s: exit code %d, want 1 (one line fails to parse)", mode.name, code)
 		}
 		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
 		if len(lines) != 4 {
-			t.Fatalf("reference=%v: %d verdict lines, want 4:\n%s", reference, len(lines), out.String())
+			t.Fatalf("%s: %d verdict lines, want 4:\n%s", mode.name, len(lines), out.String())
 		}
 		for i, want := range []string{
 			path + ":2 opaque ",
@@ -101,9 +105,75 @@ func TestRunBatch(t *testing.T) {
 			path + ":6 opaque ",
 		} {
 			if !strings.HasPrefix(lines[i], want) {
-				t.Errorf("reference=%v: line %d = %q, want prefix %q", reference, i, lines[i], want)
+				t.Errorf("%s: line %d = %q, want prefix %q", mode.name, i, lines[i], want)
 			}
 		}
+	}
+}
+
+// TestRunBatchSummaries pins the stderr summary of each engine mode: the
+// default and shared modes report their (nonzero) table counters under
+// the right label, and the reference mode — which runs without search
+// contexts — says so explicitly instead of printing a zeroed counter
+// line (the -parallel -reference mislabeling bug).
+func TestRunBatchSummaries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "histories.txt")
+	content := demos["h4"] + "\n" + demos["fig1"] + "\n" + demos["writers"] + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(reference, shared bool) string {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := runBatch(context.Background(), &out, &errOut, 4, 0, reference, shared, "", []string{path}); code != 0 {
+			t.Fatalf("reference=%v shared=%v: exit code %d, stderr:\n%s", reference, shared, code, errOut.String())
+		}
+		return errOut.String()
+	}
+
+	def := run(false, false)
+	if !strings.Contains(def, "opacheck: 3 histories:") {
+		t.Errorf("default summary lacks the totals line:\n%s", def)
+	}
+	if !strings.Contains(def, "opacheck: contexts: ") || strings.Contains(def, "contexts: 0 states interned") {
+		t.Errorf("default summary must report nonzero per-worker context counters:\n%s", def)
+	}
+
+	ref := run(true, false)
+	if !strings.Contains(ref, "opacheck: reference engine: no search contexts") {
+		t.Errorf("reference summary must say no context counters were collected:\n%s", ref)
+	}
+	if strings.Contains(ref, "opacheck: contexts:") || strings.Contains(ref, "states interned") {
+		t.Errorf("reference summary must not print a context counter line:\n%s", ref)
+	}
+
+	sh := run(false, true)
+	if !strings.Contains(sh, "opacheck: shared tables: ") || strings.Contains(sh, "shared tables: 0 states interned") {
+		t.Errorf("shared summary must report nonzero pool-wide counters:\n%s", sh)
+	}
+	if !strings.Contains(sh, "rebuilds") {
+		t.Errorf("shared summary must report the generation rebuild count:\n%s", sh)
+	}
+}
+
+// TestRunBatchSharedMatchesDefault: the -shared engine yields verdict
+// lines identical to the per-worker default on the same input.
+func TestRunBatchSharedMatchesDefault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "histories.txt")
+	content := strings.Join([]string{demos["h4"], demos["fig1"], demos["counter"], demos["writers"], demos["fig2"]}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var def, sh, errOut strings.Builder
+	if code := runBatch(context.Background(), &def, &errOut, 4, 0, false, false, "", []string{path}); code != 0 {
+		t.Fatalf("default: exit code %d", code)
+	}
+	if code := runBatch(context.Background(), &sh, &errOut, 4, 0, false, true, "", []string{path}); code != 0 {
+		t.Fatalf("shared: exit code %d", code)
+	}
+	if def.String() != sh.String() {
+		t.Errorf("shared verdict lines differ from default:\n--- default ---\n%s--- shared ---\n%s", def.String(), sh.String())
 	}
 }
 
@@ -116,8 +186,8 @@ func TestRunBatchCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	var out strings.Builder
-	if code := runBatch(ctx, &out, 2, 0, false, "", []string{path}); code != 1 {
+	var out, errOut strings.Builder
+	if code := runBatch(ctx, &out, &errOut, 2, 0, false, false, "", []string{path}); code != 1 {
 		t.Errorf("exit code %d, want 1 for a cancelled batch", code)
 	}
 	if out.Len() != 0 {
@@ -132,8 +202,8 @@ func TestRunBatchBudget(t *testing.T) {
 	if err := os.WriteFile(path, []byte(demos["fig2"]+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var out strings.Builder
-	if code := runBatch(context.Background(), &out, 2, 1, false, "", []string{path}); code != 1 {
+	var out, errOut strings.Builder
+	if code := runBatch(context.Background(), &out, &errOut, 2, 1, false, false, "", []string{path}); code != 1 {
 		t.Errorf("exit code %d, want 1 under a 1-node budget", code)
 	}
 	if !strings.Contains(out.String(), "error") {
@@ -142,8 +212,8 @@ func TestRunBatchBudget(t *testing.T) {
 }
 
 func TestRunBatchMissingFile(t *testing.T) {
-	var out strings.Builder
-	if code := runBatch(context.Background(), &out, 2, 0, false, "", []string{"/nonexistent/histories.txt"}); code != 1 {
+	var out, errOut strings.Builder
+	if code := runBatch(context.Background(), &out, &errOut, 2, 0, false, false, "", []string{"/nonexistent/histories.txt"}); code != 1 {
 		t.Errorf("exit code %d, want 1 for an unreadable file", code)
 	}
 }

@@ -12,6 +12,10 @@
 // RunContext supports cooperative cancellation: admitted histories are
 // finished and emitted in order, the rest of the input is discarded, and
 // every pool goroutine exits.
+//
+// Workers default to private search tables; Options.SharedContext backs
+// them all by one core.SharedTables instead, so the pool interns each
+// distinct state/signature/transition once rather than once per worker.
 package checkpool
 
 import (
@@ -71,8 +75,22 @@ type Options struct {
 	// Stats, when non-nil, accumulates the search-context statistics of
 	// every worker. It is written under the pool's lock as each worker
 	// retires and is safe to read once the verdict channel has closed
-	// (CheckAll and `for range Run(in)` both guarantee that).
+	// (CheckAll and `for range Run(in)` both guarantee that). With
+	// SharedContext set, the pool-wide insert counters (states, atoms,
+	// signatures, memo entries, flushes) are added exactly once from the
+	// shared tables, and the per-worker contributions are the private
+	// lookup counters (memo/transition hits and misses) only.
 	Stats *core.Stats
+	// SharedContext, when non-nil, backs every worker's SearchContext by
+	// one pool-wide set of concurrent tables (core.SharedTables): each
+	// distinct state is interned once for the whole pool instead of once
+	// per worker, and every worker reuses every other worker's memo and
+	// transition entries. The default — nil — keeps the per-worker
+	// contexts, which stay the differential oracle for the shared layer.
+	// Ignored under Config.DisableMemo (the reference path uses no
+	// context at all). The same SharedTables may back several pools,
+	// sequentially or concurrently.
+	SharedContext *core.SharedTables
 }
 
 func (o Options) withDefaults() Options {
@@ -94,8 +112,11 @@ type Pool struct {
 	opts Options
 }
 
-// New returns a Pool with the given options.
-func New(opts Options) *Pool { return &Pool{opts: opts.withDefaults()} }
+// New returns a Pool with the given options. Options are stored as
+// given; defaults are resolved once per run (in RunContext), so
+// New(Options{}), new(Pool) and &Pool{} are interchangeable — the
+// equivalence is pinned by TestZeroValuePool.
+func New(opts Options) *Pool { return &Pool{opts: opts} }
 
 // Run checks every item arriving on in and returns a channel of verdicts
 // in input order. The verdict channel closes once all input has been
@@ -168,9 +189,11 @@ func (p *Pool) RunContext(ctx context.Context, in <-chan Item) <-chan Verdict {
 		}
 	}()
 
-	// Workers: check admitted items. Each worker owns a SearchContext,
-	// so interning and caching amortize across its share of the batch
-	// without any cross-goroutine synchronization on the hot path.
+	// Workers: check admitted items. Each worker owns a SearchContext —
+	// private tables by default, so interning and caching amortize across
+	// its share of the batch without cross-goroutine synchronization on
+	// the hot path; with SharedContext, a per-worker view onto the
+	// pool-wide tables, so they amortize across the whole batch.
 	var wg sync.WaitGroup
 	var statsMu sync.Mutex
 	wg.Add(opts.Workers)
@@ -180,7 +203,11 @@ func (p *Pool) RunContext(ctx context.Context, in <-chan Item) <-chan Verdict {
 			cfg := opts.Config
 			cfg.Context = nil
 			if !cfg.DisableMemo {
-				cfg.Context = core.NewSearchContext()
+				if opts.SharedContext != nil {
+					cfg.Context = opts.SharedContext.NewContext()
+				} else {
+					cfg.Context = core.NewSearchContext()
+				}
 			}
 			for j := range work {
 				v := Verdict{Index: j.idx, Source: j.item.Source, Err: j.item.Err}
@@ -198,6 +225,14 @@ func (p *Pool) RunContext(ctx context.Context, in <-chan Item) <-chan Verdict {
 	}
 	go func() {
 		wg.Wait()
+		// The shared tables' pool-wide insert counters are added once —
+		// after every worker retired, so the snapshot covers the whole
+		// run — not once per worker.
+		if opts.Stats != nil && opts.SharedContext != nil && !opts.Config.DisableMemo {
+			statsMu.Lock()
+			opts.Stats.Add(opts.SharedContext.Stats())
+			statsMu.Unlock()
+		}
 		close(results)
 	}()
 

@@ -29,11 +29,14 @@ type Stats struct {
 	// Problems is the number of distinct search problems the context has
 	// scoped memo entries by.
 	Problems int
-	// MemoEntries / MemoHits count failure-verdict insertions and lookup
-	// hits; TransHits / TransMisses count transition-cache outcomes (a
-	// miss replays the transaction, a hit is a map probe).
+	// MemoEntries counts failure-verdict insertions; MemoHits and
+	// MemoMisses count memo lookup outcomes (their sum is the lookup
+	// count, so MemoHits/(MemoHits+MemoMisses) is the memo hit rate);
+	// TransHits / TransMisses count transition-cache outcomes (a miss
+	// replays the transaction, a hit is a map probe).
 	MemoEntries int
 	MemoHits    int
+	MemoMisses  int
 	TransHits   int
 	TransMisses int
 	// Flushes counts the times the state-dependent tables were discarded
@@ -49,6 +52,7 @@ func (s *Stats) Add(o Stats) {
 	s.Problems += o.Problems
 	s.MemoEntries += o.MemoEntries
 	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
 	s.TransHits += o.TransHits
 	s.TransMisses += o.TransMisses
 	s.Flushes += o.Flushes
@@ -125,11 +129,46 @@ type memoKey struct {
 // replayed as a definitive failure by a later call.
 //
 // A SearchContext is not safe for concurrent use. Give each goroutine
-// its own; internal/checkpool provisions one per worker.
+// its own; internal/checkpool provisions one per worker. To share the
+// tables themselves across goroutines, derive per-goroutine contexts
+// from one SharedTables (SharedTables.NewContext): such contexts keep
+// their scratch state private but delegate every table probe and insert
+// to the concurrent shared layer.
 type SearchContext struct {
+	// shared, when non-nil, backs this context by pool-wide concurrent
+	// tables; sgen is the generation pinned for the current call. In
+	// shared mode the private steps map below serves as an L1 cache over
+	// the lock-striped shared step table (the transition cache and the
+	// string-keyed interning indexes need none — their shared tables are
+	// lock-free on reads), the memo/memoWide maps hold the entries of
+	// problems this context owns (see owned), and the other table fields
+	// stay nil. The L1 and the owned-problem memo are cleared on every
+	// generation change.
+	shared *SharedTables
+	sgen   *sharedGen
+
+	// owned (shared mode only) is the set of problem ids this context
+	// interned first. Memo entries are problem-scoped, so for a problem
+	// no other context has ever posed, the shared memo cannot hold or
+	// ever be asked for its entries by anyone else — the owner keeps
+	// them in its private maps at plain-map cost. Contexts that re-pose
+	// a problem someone else minted (duplicate histories) read and write
+	// the locked shared memo instead, which is where cross-worker memo
+	// reuse actually pays. Cleared, with the private maps, on every
+	// generation change: ids do not outlive their generation.
+	owned map[int32]struct{}
+	// memoOwnProblem/memoOwn memoize the last owned-lookup: memo probes
+	// arrive in long per-problem runs (one search call = one problem),
+	// so almost every probe short-circuits to an int compare.
+	memoOwnProblem int32
+	memoOwn        bool
+
 	atoms  *spec.Interner
 	defReg int32 // interned default object state (register 0)
 
+	// objIdx/objs are the object registry — or, in shared mode, a local
+	// mirror of a prefix of the shared registry, so hot-path index
+	// lookups never touch the registry lock.
 	objIdx map[history.ObjID]int32
 	objs   []history.ObjID
 
@@ -180,10 +219,16 @@ func NewSearchContext() *SearchContext {
 	return c
 }
 
-// Stats returns a snapshot of the context's counters.
+// Stats returns a snapshot of the context's counters. For a context
+// derived from SharedTables this covers only the context's private
+// lookup counters (memo/transition hits and misses); the pool-wide
+// insert counters — states, atoms, signatures, problems, memo entries,
+// flushes — are reported once by SharedTables.Stats, not per context.
 func (c *SearchContext) Stats() Stats {
 	s := c.stats
-	s.Atoms = c.atoms.Len()
+	if c.shared == nil {
+		s.Atoms = c.atoms.Len()
+	}
 	return s
 }
 
@@ -194,6 +239,10 @@ func (c *SearchContext) Stats() Stats {
 // signatures survive — they reference atoms and objects by ids that
 // never change).
 func (c *SearchContext) registerObjects(ids []history.ObjID) {
+	if c.shared != nil {
+		c.sharedRegister(ids)
+		return
+	}
 	grew := false
 	for _, id := range ids {
 		if _, ok := c.objIdx[id]; !ok {
@@ -253,11 +302,17 @@ func (c *SearchContext) flushStateTables() {
 
 // internAtom interns one single-object state.
 func (c *SearchContext) internAtom(st spec.State) int32 {
+	if c.shared != nil {
+		return c.sgen.atoms.Intern(st)
+	}
 	return c.atoms.Intern(st)
 }
 
 // internVec interns the vector currently in vecBuf and returns its id.
 func (c *SearchContext) internVec() stateID {
+	if c.shared != nil {
+		return c.sharedInternVec()
+	}
 	buf := c.keyBuf[:0]
 	for _, a := range c.vecBuf {
 		buf = append(buf, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
@@ -327,6 +382,15 @@ func (c *SearchContext) sigOf(execs []history.OpExec) int32 {
 		buf = appendFramed(buf, func(b []byte) []byte { return appendValue(b, e.Ret) })
 	}
 	c.keyBuf = buf
+	if c.shared != nil {
+		g := c.sgen
+		id, fresh := g.sigIdx.intern(buf, func() int32 { return g.sigSeq.Add(1) - 1 })
+		if fresh {
+			c.shared.txSigs.Add(1)
+			g.entries.Add(1)
+		}
+		return id
+	}
 	if id, ok := c.sigIdx[string(buf)]; ok {
 		return id
 	}
@@ -383,15 +447,49 @@ func appendValue(buf []byte, v history.Value) []byte {
 
 // step replays the transaction with the given signature on state vid,
 // through the transition cache: each (state, signature) pair is replayed
-// at most once per context, not once per (search node, candidate) pair.
+// at most once per context — once per table set, in shared mode — not
+// once per (search node, candidate) pair.
 func (c *SearchContext) step(vid stateID, sig int32, execs []history.OpExec) (stateID, bool) {
 	k := transKey{state: vid, sig: sig}
+	if c.shared != nil {
+		// No private cache in front: the shared transition table is
+		// lock-free on reads, so probing it directly costs about a map
+		// lookup and every worker sees every sibling's replays.
+		if v, ok := c.sgen.trans.get(k); ok {
+			c.stats.TransHits++
+			return v.next, v.legal
+		}
+		c.stats.TransMisses++
+		// The replay outcome is a pure function of (vid, sig) — stored
+		// vectors are canonical and signatures pin the registry indices
+		// they touch — so racing workers compute the same value and
+		// first-writer-wins is sound.
+		v := c.replay(vid, c.sgen.vecs.get(vid), execs)
+		if c.sgen.trans.put(k, v) {
+			c.sgen.entries.Add(1)
+		}
+		return v.next, v.legal
+	}
 	if v, ok := c.trans[k]; ok {
 		c.stats.TransHits++
 		return v.next, v.legal
 	}
 	c.stats.TransMisses++
-	c.vecBuf = append(c.vecBuf[:0], c.vecs[vid]...)
+	v := c.replay(vid, c.vecs[vid], execs)
+	c.trans[k] = v
+	return v.next, v.legal
+}
+
+// replay applies a transaction's completed operation executions to the
+// object-state vector vec (the stored form of vid), returning the cached
+// transition value. vec may be shorter than the registry mirror in
+// shared mode (canonical trimming); absent positions are still at the
+// default register state and are padded back out.
+func (c *SearchContext) replay(vid stateID, vec []int32, execs []history.OpExec) transVal {
+	c.vecBuf = append(c.vecBuf[:0], vec...)
+	for len(c.vecBuf) < len(c.objs) {
+		c.vecBuf = append(c.vecBuf, c.defReg)
+	}
 	changed := false
 	v := transVal{next: -1, legal: true}
 	for _, e := range execs {
@@ -416,8 +514,7 @@ func (c *SearchContext) step(vid stateID, sig int32, execs []history.OpExec) (st
 			v.next = vid
 		}
 	}
-	c.trans[k] = v
-	return v.next, v.legal
+	return v
 }
 
 // stepAtom applies one completed operation execution to one interned
@@ -426,7 +523,23 @@ func (c *SearchContext) step(vid stateID, sig int32, execs []history.OpExec) (st
 // Key rendering of the result — once per context lifetime.
 func (c *SearchContext) stepAtom(atom int32, e history.OpExec) (int32, bool) {
 	k := atomStep{atom: atom, op: e.Op, arg: e.Arg, ret: e.Ret}
-	if v, ok := c.steps[k]; ok {
+	if v, ok := c.steps[k]; ok { // in shared mode, the lock-free L1
+		return v.next, v.legal
+	}
+	if c.shared != nil {
+		if v, ok := c.sgen.steps.get(k); ok {
+			c.steps[k] = v
+			return v.next, v.legal
+		}
+		next, ok := c.sgen.atoms.State(atom).Step(e.Op, e.Arg, e.Ret)
+		v := atomStepVal{next: -1, legal: ok}
+		if ok {
+			v.next = c.internAtom(next)
+		}
+		if c.sgen.steps.put(k, v) {
+			c.sgen.entries.Add(1)
+		}
+		c.steps[k] = v
 		return v.next, v.legal
 	}
 	next, ok := c.atoms.State(atom).Step(e.Op, e.Arg, e.Ret)
@@ -469,6 +582,16 @@ func (c *SearchContext) problemOf(kind byte, salt int32, init stateID, sigs []in
 		buf = preds[i].appendKey(buf)
 	}
 	c.keyBuf = buf
+	if c.shared != nil {
+		g := c.sgen
+		id, fresh := g.problems.intern(buf, func() int32 { return g.problemSeq.Add(1) - 1 })
+		if fresh {
+			c.shared.problemCount.Add(1)
+			g.entries.Add(1)
+			c.owned[id] = struct{}{}
+		}
+		return id
+	}
 	if id, ok := c.problems[string(buf)]; ok {
 		return id
 	}
@@ -486,10 +609,32 @@ func (c *SearchContext) problemOf(kind byte, salt int32, init stateID, sigs []in
 // tables that issued them.
 func (c *SearchContext) materialize(vid stateID) spec.Objects {
 	out := make(spec.Objects, len(c.objs))
+	if c.shared != nil {
+		vec := c.sgen.vecs.get(vid)
+		for j, id := range c.objs {
+			a := c.defReg
+			if j < len(vec) {
+				a = vec[j]
+			}
+			out[id] = c.sgen.atoms.State(a)
+		}
+		return out
+	}
 	for j, id := range c.objs {
 		out[id] = c.atoms.State(c.vecs[vid][j])
 	}
 	return out
+}
+
+// ownsProblem reports whether this context minted the problem (shared
+// mode only), memoizing the last answer: probes arrive in per-problem
+// runs, so the owned-map lookup happens once per run.
+func (c *SearchContext) ownsProblem(problem int32) bool {
+	if problem != c.memoOwnProblem {
+		_, ok := c.owned[problem]
+		c.memoOwnProblem, c.memoOwn = problem, ok
+	}
+	return c.memoOwn
 }
 
 // memoIndex builds the inline memo key for placed bitsets of at most two
@@ -521,22 +666,62 @@ func (c *SearchContext) wideKey(problem int32, placed bitset, last int, vid stat
 // failure.
 func (c *SearchContext) memoHas(problem int32, placed bitset, last int, vid stateID) bool {
 	var ok bool
-	if k, inline := memoIndex(problem, placed, last, vid); inline {
+	if c.shared != nil {
+		if c.ownsProblem(problem) {
+			// This context minted the problem; its entries live in the
+			// private maps and no sibling can ever pose it (see owned).
+			if k, inline := memoIndex(problem, placed, last, vid); inline {
+				_, ok = c.memo[k]
+			} else {
+				_, ok = c.memoWide[string(c.wideKey(problem, placed, last, vid))]
+			}
+		} else if k, inline := memoIndex(problem, placed, last, vid); inline {
+			_, ok = c.sgen.memo.get(k)
+		} else {
+			_, ok = c.sgen.memoWide.get(c.wideKey(problem, placed, last, vid))
+		}
+	} else if k, inline := memoIndex(problem, placed, last, vid); inline {
 		_, ok = c.memo[k]
 	} else {
 		_, ok = c.memoWide[string(c.wideKey(problem, placed, last, vid))]
 	}
 	if ok {
 		c.stats.MemoHits++
+	} else {
+		c.stats.MemoMisses++
 	}
 	return ok
 }
 
 // memoInsert records the search state as a definitive failure. Callers
 // must never insert a state whose subtree was truncated by the node
-// budget: with contexts shared across calls, a truncated verdict
-// replayed as a failure would be unsound.
+// budget: with contexts shared across calls — and, via SharedTables,
+// across workers — a truncated verdict replayed as a failure would be
+// unsound.
 func (c *SearchContext) memoInsert(problem int32, placed bitset, last int, vid stateID) {
+	if c.shared != nil {
+		if c.ownsProblem(problem) {
+			if k, inline := memoIndex(problem, placed, last, vid); inline {
+				c.memo[k] = struct{}{}
+			} else {
+				c.memoWide[string(c.wideKey(problem, placed, last, vid))] = struct{}{}
+			}
+			c.stats.MemoEntries++
+			return
+		}
+		inserted := false
+		if k, inline := memoIndex(problem, placed, last, vid); inline {
+			inserted = c.sgen.memo.put(k, struct{}{})
+		} else {
+			wk := c.wideKey(problem, placed, last, vid)
+			_, inserted = c.sgen.memoWide.intern(wk, func() int32 { return 0 })
+		}
+		if inserted {
+			c.shared.memoEntries.Add(1)
+			c.sgen.entries.Add(1)
+		}
+		return
+	}
 	if k, inline := memoIndex(problem, placed, last, vid); inline {
 		c.memo[k] = struct{}{}
 	} else {

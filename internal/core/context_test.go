@@ -330,10 +330,10 @@ func TestIndexOfMiss(t *testing.T) {
 // TestStatsAdd pins the aggregation used by checkpool's per-worker
 // accounting.
 func TestStatsAdd(t *testing.T) {
-	a := Stats{States: 1, Atoms: 2, TxSigs: 3, Problems: 4, MemoEntries: 5, MemoHits: 6, TransHits: 7, TransMisses: 8, Flushes: 9}
+	a := Stats{States: 1, Atoms: 2, TxSigs: 3, Problems: 4, MemoEntries: 5, MemoHits: 6, MemoMisses: 7, TransHits: 8, TransMisses: 9, Flushes: 10}
 	b := a
 	a.Add(b)
-	want := Stats{States: 2, Atoms: 4, TxSigs: 6, Problems: 8, MemoEntries: 10, MemoHits: 12, TransHits: 14, TransMisses: 16, Flushes: 18}
+	want := Stats{States: 2, Atoms: 4, TxSigs: 6, Problems: 8, MemoEntries: 10, MemoHits: 12, MemoMisses: 14, TransHits: 16, TransMisses: 18, Flushes: 20}
 	if a != want {
 		t.Errorf("Add: got %+v, want %+v", a, want)
 	}

@@ -195,8 +195,26 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 	}
 
 	// Between calls is the only safe point to bound the tables: nothing
-	// for this call has been interned yet.
-	if ctx.tableEntries() > maxTableEntries {
+	// for this call has been interned yet. Shared-table contexts pin (and
+	// possibly rotate) the pool-wide generation here instead of resetting
+	// private tables — unless this is a re-entrant call on a borrowed
+	// searcher (s != &ctx.srch), whose outer call still holds stateIDs
+	// into the pinned generation.
+	if ctx.shared != nil {
+		if s == &ctx.srch {
+			ctx.pinShared()
+			// The private side (L1 caches, owned-problem memo) grows
+			// independently of the shared generation; dropping it is
+			// always sound and only costs re-derivation.
+			if len(ctx.steps)+len(ctx.memo)+len(ctx.memoWide) > maxTableEntries {
+				clear(ctx.steps)
+				clear(ctx.memo)
+				clear(ctx.memoWide)
+				clear(ctx.owned)
+				ctx.memoOwnProblem = -1
+			}
+		}
+	} else if ctx.tableEntries() > maxTableEntries {
 		ctx.reset()
 	}
 
@@ -261,8 +279,15 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 	s.init = ctx.initialState(o.Objects)
 	kind, salt := byte(problemSearch), int32(0)
 	if o.enumerate {
-		ctx.enumEpoch++
-		kind, salt = problemEnum, ctx.enumEpoch
+		kind = problemEnum
+		if ctx.shared != nil {
+			// Epochs must be pool-unique: another worker's enumeration
+			// sharing a salt would suppress this one's finals.
+			salt = ctx.shared.enumEpoch.Add(1)
+		} else {
+			ctx.enumEpoch++
+			salt = ctx.enumEpoch
+		}
 	}
 	s.problem = ctx.problemOf(kind, salt, s.init, s.sigs, s.decide, s.preds)
 }

@@ -1,5 +1,10 @@
 package spec
 
+import (
+	"fmt"
+	"math"
+)
+
 // Interner assigns small dense integer ids to States, keyed by State.Key:
 // two states whose keys are equal — which by the State contract accept
 // exactly the same continuations — receive the same id, and distinct keys
@@ -11,10 +16,34 @@ package spec
 // id, so repeatedly reached equal states share a single boxed value
 // regardless of how many distinct State values produced them.
 //
-// Interners are not safe for concurrent use; give each goroutine its own.
+// Ids are int32, so one Interner can hold at most 2^31-1 distinct states;
+// Intern panics loudly if the limit is ever reached instead of silently
+// wrapping ids (see maxInternStates). In practice the search contexts of
+// internal/core rebuild their tables long before then, but a days-long
+// session over a huge value domain must shard or flush rather than rely
+// on the id space (ROADMAP: per-checkpoint table compaction).
+//
+// Interners are not safe for concurrent use; give each goroutine its
+// own, or use SharedInterner.
 type Interner struct {
 	ids    map[string]int32
 	states []State
+}
+
+// maxInternStates caps the number of distinct states one interner (of
+// either flavor) can hold: ids are int32 and must never wrap. A variable
+// rather than a constant so the overflow path is testable without
+// interning 2^31 states.
+var maxInternStates = int64(math.MaxInt32)
+
+// checkInternLimit panics if assigning the id n would leave the int32 id
+// space. n is the number of states already interned.
+func checkInternLimit(n int64) {
+	if n >= maxInternStates {
+		panic(fmt.Sprintf(
+			"spec: interner overflow: %d distinct states already interned, int32 id space exhausted; "+
+				"shard the corpus or flush/rebuild the search context (see ROADMAP: per-checkpoint table compaction)", n))
+	}
 }
 
 // NewInterner returns an empty Interner.
@@ -23,12 +52,14 @@ func NewInterner() *Interner {
 }
 
 // Intern returns the id of st, assigning the next free id if st's key has
-// not been seen before.
+// not been seen before. It panics if the int32 id space is exhausted
+// rather than wrapping ids silently.
 func (it *Interner) Intern(st State) int32 {
 	key := st.Key()
 	if id, ok := it.ids[key]; ok {
 		return id
 	}
+	checkInternLimit(int64(len(it.states)))
 	id := int32(len(it.states))
 	it.ids[key] = id
 	it.states = append(it.states, st)

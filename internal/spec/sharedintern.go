@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SharedInterner is the concurrency-safe variant of Interner: many
+// goroutines may Intern and resolve states at once. It keeps the same
+// contract — dense int32 ids keyed by State.Key, one canonical
+// representative per id, a panic instead of id wraparound — but
+// distributes the key table over lock stripes so concurrent interning of
+// distinct states rarely contends, and stores the representatives in an
+// append-only paged array so State(id) is a lock-free read.
+//
+// It backs the pool-wide shared search tables of internal/core
+// (core.SharedTables), where every checkpool worker interns into one
+// table instead of paying the interning ×Workers times.
+type SharedInterner struct {
+	stripes [internStripes]internStripe
+	states  pagedStates
+}
+
+// internStripes must be a power of two; 64 keeps 8–16 workers almost
+// always on distinct stripes after the warmup phase.
+const internStripes = 64
+
+type internStripe struct {
+	mu  sync.RWMutex
+	ids map[string]int32
+}
+
+// NewSharedInterner returns an empty SharedInterner.
+func NewSharedInterner() *SharedInterner {
+	it := &SharedInterner{}
+	for i := range it.stripes {
+		it.stripes[i].ids = make(map[string]int32)
+	}
+	return it
+}
+
+// fnv32 is FNV-1a over the key bytes; only the stripe choice depends on
+// it, so the exact function is free to change.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Intern returns the id of st, assigning the next free id if st's key has
+// not been seen before. Concurrent calls with equal keys always agree on
+// the id: the losing racer re-checks under the stripe's write lock before
+// allocating.
+func (it *SharedInterner) Intern(st State) int32 {
+	key := st.Key()
+	sp := &it.stripes[fnv32(key)&(internStripes-1)]
+	sp.mu.RLock()
+	id, ok := sp.ids[key]
+	sp.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if id, ok := sp.ids[key]; ok {
+		return id
+	}
+	id = it.states.append(st)
+	sp.ids[key] = id
+	return id
+}
+
+// State returns the canonical representative of id without locking. It
+// panics if id was not returned by Intern.
+func (it *SharedInterner) State(id int32) State { return it.states.get(id) }
+
+// Len returns the number of distinct states interned so far. Under
+// concurrent interning the count is a snapshot, monotonically
+// non-decreasing.
+func (it *SharedInterner) Len() int { return it.states.len() }
+
+// pagedStates is an append-only id-indexed store. Appends are serialized
+// by a mutex; reads index fixed-size pages through an atomically
+// published page table, so resolving an id never takes a lock and never
+// races with a concurrent append (an id is only ever read after it was
+// published through some synchronized table, which happens-after the
+// slot write).
+const (
+	internPageShift = 10
+	internPageSize  = 1 << internPageShift
+)
+
+type internPage [internPageSize]State
+
+type pagedStates struct {
+	mu    sync.Mutex
+	pages atomic.Pointer[[]*internPage]
+	n     atomic.Int64
+}
+
+func (p *pagedStates) append(st State) int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.n.Load()
+	checkInternLimit(n)
+	var pages []*internPage
+	if t := p.pages.Load(); t != nil {
+		pages = *t
+	}
+	if int(n>>internPageShift) == len(pages) {
+		grown := make([]*internPage, len(pages)+1)
+		copy(grown, pages)
+		grown[len(pages)] = new(internPage)
+		p.pages.Store(&grown)
+		pages = grown
+	}
+	pages[n>>internPageShift][n&(internPageSize-1)] = st
+	p.n.Store(n + 1)
+	return int32(n)
+}
+
+func (p *pagedStates) get(id int32) State {
+	return (*p.pages.Load())[id>>internPageShift][id&(internPageSize-1)]
+}
+
+func (p *pagedStates) len() int { return int(p.n.Load()) }

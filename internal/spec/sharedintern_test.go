@@ -1,0 +1,135 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestInternerOverflowPanics pins the id-wraparound fix: once the int32
+// id space is (simulated to be) exhausted, Intern must panic with a
+// descriptive message instead of handing out a wrapped, colliding id.
+func TestInternerOverflowPanics(t *testing.T) {
+	defer func(orig int64) { maxInternStates = orig }(maxInternStates)
+	maxInternStates = 2
+
+	it := NewInterner()
+	it.Intern(NewRegister(0))
+	if id := it.Intern(NewRegister(1)); id != 1 {
+		t.Fatalf("second state got id %d, want 1", id)
+	}
+	// Re-interning known keys must stay fine at the limit.
+	if id := it.Intern(NewRegister(0)); id != 0 {
+		t.Fatalf("re-intern at the limit got id %d, want 0", id)
+	}
+	mustPanicOverflow(t, func() { it.Intern(NewRegister(2)) })
+}
+
+// TestSharedInternerOverflowPanics: the concurrent variant shares the
+// same hard limit.
+func TestSharedInternerOverflowPanics(t *testing.T) {
+	defer func(orig int64) { maxInternStates = orig }(maxInternStates)
+	maxInternStates = 2
+
+	it := NewSharedInterner()
+	it.Intern(NewRegister(0))
+	it.Intern(NewRegister(1))
+	if id := it.Intern(NewRegister(1)); id != 1 {
+		t.Fatalf("re-intern at the limit got id %d, want 1", id)
+	}
+	mustPanicOverflow(t, func() { it.Intern(NewRegister(2)) })
+}
+
+func mustPanicOverflow(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Intern past the id limit did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "interner overflow") {
+			t.Fatalf("overflow panic message %q does not name the failure", msg)
+		}
+	}()
+	f()
+}
+
+// TestSharedInternerMatchesInterner: interned sequentially, the shared
+// variant assigns exactly the ids the single-goroutine Interner does.
+func TestSharedInternerMatchesInterner(t *testing.T) {
+	states := []State{
+		NewRegister(0), NewRegister(1), NewCounter(0), NewCounter(1),
+		NewRegister("0"), NewRegister(1), NewRegister(0), NewCounter(7),
+	}
+	it, sh := NewInterner(), NewSharedInterner()
+	for i, st := range states {
+		a, b := it.Intern(st), sh.Intern(st)
+		if a != b {
+			t.Fatalf("state %d (%s): Interner id %d, SharedInterner id %d", i, st.Key(), a, b)
+		}
+		if got := sh.State(b).Key(); got != st.Key() {
+			t.Fatalf("state %d: State(%d).Key() = %q, want %q", i, b, got, st.Key())
+		}
+	}
+	if it.Len() != sh.Len() {
+		t.Fatalf("Len: Interner %d, SharedInterner %d", it.Len(), sh.Len())
+	}
+}
+
+// TestSharedInternerConcurrent hammers one interner from many goroutines
+// over an overlapping key set (every goroutine interns every state, in a
+// rotated order) and checks the invariants that make shared search
+// tables sound: equal keys always resolve to one id, distinct keys to
+// distinct ids, ids stay dense, and every id round-trips to a canonical
+// representative with the right key. Run with -race in CI.
+func TestSharedInternerConcurrent(t *testing.T) {
+	const goroutines = 8
+	const distinct = 3000
+	states := make([]State, distinct)
+	for i := range states {
+		states[i] = NewRegister(i)
+	}
+
+	sh := NewSharedInterner()
+	got := make([][]int32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]int32, distinct)
+			for i := 0; i < distinct; i++ {
+				j := (i*7 + g*distinct/goroutines) % distinct
+				ids[j] = sh.Intern(states[j])
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+
+	if sh.Len() != distinct {
+		t.Fatalf("Len() = %d after %d goroutines interned %d distinct states", sh.Len(), goroutines, distinct)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range got[g] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutines 0 and %d disagree on state %d: ids %d vs %d", g, i, got[0][i], got[g][i])
+			}
+		}
+	}
+	seen := make(map[int32]bool, distinct)
+	for i, id := range got[0] {
+		if id < 0 || int(id) >= distinct {
+			t.Fatalf("state %d: id %d not dense in [0,%d)", i, id, distinct)
+		}
+		if seen[id] {
+			t.Fatalf("id %d assigned to two distinct states", id)
+		}
+		seen[id] = true
+		if key := sh.State(id).Key(); key != states[i].Key() {
+			t.Fatalf("State(%d).Key() = %q, want %q", id, key, states[i].Key())
+		}
+	}
+}
