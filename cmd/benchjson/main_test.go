@@ -21,6 +21,10 @@ pkg: otm
 BenchmarkCheckOpacityBatch/mixed/shared4-8         	      60	  23674066 ns/op	         0.1404 memo-hit-rate	     10853 nodes/corpus	       685.0 states-interned	 6933293 B/op	   21130 allocs/op
 PASS
 ok  	otm	2.1s
+pkg: otm/internal/dist
+BenchmarkDistributed/workers=2-8         	       2	  22034965 ns/op	     23237 histories/s	       363.1 shards/s	11591160 B/op	   27172 allocs/op
+PASS
+ok  	otm/internal/dist	1.9s
 `
 
 func TestParse(t *testing.T) {
@@ -31,8 +35,8 @@ func TestParse(t *testing.T) {
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
 		t.Errorf("headers: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
 	}
 	soak := rep.Benchmarks[rep.Index["otm:BenchmarkMonitorSoak/trunc-20k-8"]]
 	if soak.Pkg != "otm" || soak.Iterations != 1 {
@@ -57,6 +61,12 @@ func TestParse(t *testing.T) {
 	sh := rep.Benchmarks[rep.Index["otm:BenchmarkCheckOpacityBatch/mixed/shared4-8"]]
 	if sh.Metrics["memo-hit-rate"] != 0.1404 || sh.Metrics["states-interned"] != 685 {
 		t.Errorf("shared batch metrics = %v", sh.Metrics)
+	}
+	// The distributed benchmark's throughput units (with a "/s" suffix
+	// and an "=" in the sub-benchmark name) parse under their exact names.
+	dist := rep.Benchmarks[rep.Index["otm/internal/dist:BenchmarkDistributed/workers=2-8"]]
+	if dist.Metrics["shards/s"] != 363.1 || dist.Metrics["histories/s"] != 23237 {
+		t.Errorf("distributed metrics = %v", dist.Metrics)
 	}
 }
 

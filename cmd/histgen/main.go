@@ -5,32 +5,77 @@
 //
 // Each history is printed on one line; a trailing comment records the
 // seed so failures are reproducible.
+//
+// -shard i/k restricts the output to the i-th of k contiguous slices of
+// the corpus (0 ≤ i < k). History j always uses seed+j no matter which
+// shard emits it, so the slices are deterministic and concatenating
+// shards 0/k through (k-1)/k reproduces the unsharded corpus exactly —
+// generate a large corpus on several machines without coordination:
+//
+//	histgen -n 1000000 -shard 3/8 > part3.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
 
 	"otm/internal/gen"
 )
 
 func main() {
-	n := flag.Int("n", 10, "number of histories")
+	n := flag.Int("n", 10, "number of histories in the whole corpus")
 	txs := flag.Int("txs", 4, "transactions per history")
 	objs := flag.Int("objs", 2, "registers per history")
 	maxOps := flag.Int("ops", 3, "max operations per transaction")
 	seed := flag.Int64("seed", 1, "base seed (history i uses seed+i)")
 	stale := flag.Float64("stale", 0.25, "probability of adversarial read values")
 	init := flag.Bool("init", false, "prepend the initializing transaction T0")
+	shard := flag.String("shard", "", "emit only slice i of k (\"i/k\"); concatenated slices equal the full corpus")
 	flag.Parse()
+
+	lo, hi, err := shardBounds(*n, *shard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "histgen: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := gen.Config{
 		Txs: *txs, Objs: *objs, MaxOps: *maxOps,
 		PStaleRead: *stale, WithInit: *init,
 	}
-	for i := 0; i < *n; i++ {
-		s := *seed + int64(i)
-		h := gen.History(cfg, s)
-		fmt.Printf("%s   # seed=%d\n", h, s)
+	w := bufio.NewWriter(os.Stdout)
+	emit(w, cfg, *seed, lo, hi)
+	w.Flush()
+}
+
+// shardBounds resolves the -shard flag to the half-open history-index
+// range to emit: the whole corpus when the flag is empty.
+func shardBounds(n int, shard string) (lo, hi int, err error) {
+	if shard == "" {
+		return 0, n, nil
+	}
+	is, ks, ok := strings.Cut(shard, "/")
+	i, err1 := strconv.Atoi(is)
+	k, err2 := strconv.Atoi(ks)
+	if !ok || err1 != nil || err2 != nil || k < 1 || i < 0 || i >= k {
+		return 0, 0, fmt.Errorf("-shard wants \"i/k\" with 0 <= i < k, got %q", shard)
+	}
+	lo, hi = gen.ShardRange(n, i, k)
+	return lo, hi, nil
+}
+
+// emit writes histories lo..hi of the corpus, one per line with the
+// reproducing seed as a trailing comment. History j uses seed+j
+// regardless of the emitting shard, which is what makes sharded output
+// concatenate to the unsharded corpus.
+func emit(w io.Writer, cfg gen.Config, seed int64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := seed + int64(i)
+		fmt.Fprintf(w, "%s   # seed=%d\n", gen.History(cfg, s), s)
 	}
 }

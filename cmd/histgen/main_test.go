@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"otm/internal/gen"
+)
+
+// TestShardedGenerationConcatenates is the -shard contract: for any k,
+// emitting the k slices separately and concatenating them reproduces the
+// unsharded corpus byte for byte.
+func TestShardedGenerationConcatenates(t *testing.T) {
+	cfg := gen.Config{Txs: 3, Objs: 2, MaxOps: 3, PStaleRead: 0.25}
+	const n, seed = 47, int64(11)
+
+	var full strings.Builder
+	emit(&full, cfg, seed, 0, n)
+	if lines := strings.Count(full.String(), "\n"); lines != n {
+		t.Fatalf("full corpus has %d lines, want %d", lines, n)
+	}
+
+	for _, k := range []int{1, 2, 3, 7, n, n + 5} {
+		var cat strings.Builder
+		for i := 0; i < k; i++ {
+			lo, hi, err := shardBounds(n, fmt.Sprintf("%d/%d", i, k))
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i, k, err)
+			}
+			emit(&cat, cfg, seed, lo, hi)
+		}
+		if cat.String() != full.String() {
+			t.Errorf("k=%d: concatenated shards differ from the full corpus", k)
+		}
+	}
+}
+
+func TestShardBoundsRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{"x", "1", "2/2", "-1/2", "1/0", "a/b", "1/2/3"} {
+		if _, _, err := shardBounds(10, bad); err == nil {
+			t.Errorf("shardBounds(10, %q) accepted", bad)
+		}
+	}
+	if lo, hi, err := shardBounds(10, ""); err != nil || lo != 0 || hi != 10 {
+		t.Errorf("empty shard spec = (%d,%d,%v), want the whole corpus", lo, hi, err)
+	}
+}

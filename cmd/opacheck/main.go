@@ -18,7 +18,13 @@
 // -parallel N switches to streaming batch mode: arguments are files of
 // histories (one per line; "-" or no arguments reads stdin), checked
 // concurrently by N workers from internal/checkpool, and each input line
-// yields exactly one verdict line on stdout, in input order:
+// yields exactly one verdict line on stdout, in input order. Inputs may
+// be plain paths or storage URIs (file:///abs/path, mem://store/name),
+// and -verdicts redirects the verdict stream to a storage URI written
+// atomically — the object appears fully written or not at all, so a
+// crashed or interrupted batch never leaves a partial verdict file:
+//
+//	opacheck -parallel 8 -verdicts file:///tmp/run/verdicts.log corpus.txt
 //
 //	histories.txt:3 opaque nodes=42 order="T1 T2"
 //	histories.txt:4 non-opaque nodes=97
@@ -76,6 +82,7 @@ import (
 	"otm/internal/history"
 	"otm/internal/opg"
 	"otm/internal/spec"
+	"otm/internal/storage"
 )
 
 var demos = map[string]string{
@@ -100,6 +107,7 @@ func run() int {
 	maxNodes := flag.Int("maxnodes", 0, "batch mode: per-history search-node budget (0 = checker default)")
 	reference := flag.Bool("reference", false, "batch mode: use the per-completion reference engine instead of the unified search (for node-count comparisons)")
 	shared := flag.Bool("shared", false, "batch mode: share one pool-wide set of search tables across all workers (default: one private table set per worker)")
+	verdicts := flag.String("verdicts", "", "batch mode: write the verdict stream to this storage URI (file:// or mem://) instead of stdout, committed atomically")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
@@ -148,7 +156,7 @@ func run() int {
 			return 2
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		code := runBatch(ctx, os.Stdout, os.Stderr, *parallel, *maxNodes, *reference, *shared, *counterObjs, flag.Args())
+		code := runBatch(ctx, os.Stdout, os.Stderr, *parallel, *maxNodes, *reference, *shared, *counterObjs, *verdicts, flag.Args())
 		stop()
 		return code
 	}
@@ -200,12 +208,17 @@ func counterObjects(counterObjs string) spec.Objects {
 }
 
 // runBatch is the -parallel mode: stream histories from the given files
-// (or stdin), check them on a checkpool of the given width, and print one
-// verdict line per input line, in input order; the summary lines go to
-// errW. Cancelling ctx (SIGINT / SIGTERM) stops admission; verdicts for
-// already-admitted histories are still printed. It returns the process
-// exit code.
-func runBatch(ctx context.Context, out, errW io.Writer, workers, maxNodes int, reference, shared bool, counterObjs string, paths []string) int {
+// (paths or storage URIs; "-" or no arguments reads stdin), check them
+// on a checkpool of the given width, and print one verdict line per
+// input line, in input order; the summary lines go to errW. With a
+// -verdicts URI the verdict stream goes to that storage object instead
+// of out, committed atomically on success — a failed or interrupted run
+// leaves no partial verdict object behind. Sink write failures propagate
+// through checkpool.RunTo: the run stops early, the object is aborted,
+// and the error is reported. Cancelling ctx (SIGINT / SIGTERM) stops
+// admission; verdicts for already-admitted histories are still written.
+// It returns the process exit code.
+func runBatch(ctx context.Context, out, errW io.Writer, workers, maxNodes int, reference, shared bool, counterObjs, verdicts string, paths []string) int {
 	var stats core.Stats
 	opts := checkpool.Options{
 		Workers: workers,
@@ -232,35 +245,56 @@ func runBatch(ctx context.Context, out, errW io.Writer, workers, maxNodes int, r
 				feedLines(in, os.Stdin, "stdin")
 				continue
 			}
-			f, err := os.Open(path)
+			r, err := storage.OpenURI(path)
 			if err != nil {
 				in <- checkpool.Item{Source: path, Err: err}
 				continue
 			}
-			feedLines(in, f, path)
-			f.Close()
+			feedLines(in, r, path)
+			r.Close()
 		}
 	}()
 
+	var sinkObj storage.Writer
+	w := bufio.NewWriter(out)
+	if verdicts != "" {
+		var err error
+		if sinkObj, err = storage.CreateURI(verdicts); err != nil {
+			fmt.Fprintf(errW, "opacheck: -verdicts: %v\n", err)
+			return 2
+		}
+		w = bufio.NewWriter(sinkObj)
+	}
+
 	opaque, nonOpaque, errored := 0, 0, 0
 	totalNodes := 0
-	w := bufio.NewWriter(out)
-	defer w.Flush()
-	for v := range pool.RunContext(ctx, in) {
+	runErr := pool.RunTo(ctx, in, func(v checkpool.Verdict) error {
 		totalNodes += v.Result.Nodes
 		switch {
 		case v.Err != nil:
 			errored++
-			fmt.Fprintf(w, "%s error %v\n", v.Source, v.Err)
 		case v.Result.Opaque:
 			opaque++
-			fmt.Fprintf(w, "%s opaque nodes=%d order=%q\n", v.Source, v.Result.Nodes, v.Result.Witness)
 		default:
 			nonOpaque++
-			fmt.Fprintf(w, "%s non-opaque nodes=%d\n", v.Source, v.Result.Nodes)
+		}
+		_, err := w.WriteString(v.Line() + "\n")
+		return err
+	})
+	flushErr := w.Flush()
+	if sinkObj != nil {
+		// An incomplete verdict stream — sink failure, interruption —
+		// must not commit a partial verdict object.
+		if runErr != nil || flushErr != nil {
+			sinkObj.Abort()
+		} else if err := sinkObj.Close(); err != nil {
+			fmt.Fprintf(errW, "opacheck: -verdicts: %v\n", err)
+			return 1
 		}
 	}
-	w.Flush()
+	if runErr != nil && ctx.Err() == nil {
+		fmt.Fprintf(errW, "opacheck: verdict sink: %v\n", runErr)
+	}
 	fmt.Fprintf(errW, "opacheck: %d histories: %d opaque, %d non-opaque, %d errors; %d search nodes\n",
 		opaque+nonOpaque+errored, opaque, nonOpaque, errored, totalNodes)
 	// The counter line names the tables it reports on. The reference
@@ -280,7 +314,7 @@ func runBatch(ctx context.Context, out, errW io.Writer, workers, maxNodes int, r
 		fmt.Fprintln(errW, "opacheck: interrupted; remaining input skipped")
 		return 1
 	}
-	if errored > 0 {
+	if runErr != nil || flushErr != nil || errored > 0 {
 		return 1
 	}
 	return 0

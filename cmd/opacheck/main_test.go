@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"otm/internal/criteria"
 	"otm/internal/history"
 	"otm/internal/spec"
+	"otm/internal/storage"
 )
 
 // TestDemosParseAndVerdicts pins every built-in demo to its expected
@@ -90,7 +92,7 @@ func TestRunBatch(t *testing.T) {
 		reference, shared bool
 	}{{name: "default"}, {name: "reference", reference: true}, {name: "shared", shared: true}} {
 		var out, errOut strings.Builder
-		code := runBatch(context.Background(), &out, &errOut, 4, 0, mode.reference, mode.shared, "", []string{path})
+		code := runBatch(context.Background(), &out, &errOut, 4, 0, mode.reference, mode.shared, "", "", []string{path})
 		if code != 1 {
 			t.Errorf("%s: exit code %d, want 1 (one line fails to parse)", mode.name, code)
 		}
@@ -126,7 +128,7 @@ func TestRunBatchSummaries(t *testing.T) {
 	run := func(reference, shared bool) string {
 		t.Helper()
 		var out, errOut strings.Builder
-		if code := runBatch(context.Background(), &out, &errOut, 4, 0, reference, shared, "", []string{path}); code != 0 {
+		if code := runBatch(context.Background(), &out, &errOut, 4, 0, reference, shared, "", "", []string{path}); code != 0 {
 			t.Fatalf("reference=%v shared=%v: exit code %d, stderr:\n%s", reference, shared, code, errOut.String())
 		}
 		return errOut.String()
@@ -166,10 +168,10 @@ func TestRunBatchSharedMatchesDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	var def, sh, errOut strings.Builder
-	if code := runBatch(context.Background(), &def, &errOut, 4, 0, false, false, "", []string{path}); code != 0 {
+	if code := runBatch(context.Background(), &def, &errOut, 4, 0, false, false, "", "", []string{path}); code != 0 {
 		t.Fatalf("default: exit code %d", code)
 	}
-	if code := runBatch(context.Background(), &sh, &errOut, 4, 0, false, true, "", []string{path}); code != 0 {
+	if code := runBatch(context.Background(), &sh, &errOut, 4, 0, false, true, "", "", []string{path}); code != 0 {
 		t.Fatalf("shared: exit code %d", code)
 	}
 	if def.String() != sh.String() {
@@ -187,7 +189,7 @@ func TestRunBatchCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var out, errOut strings.Builder
-	if code := runBatch(ctx, &out, &errOut, 2, 0, false, false, "", []string{path}); code != 1 {
+	if code := runBatch(ctx, &out, &errOut, 2, 0, false, false, "", "", []string{path}); code != 1 {
 		t.Errorf("exit code %d, want 1 for a cancelled batch", code)
 	}
 	if out.Len() != 0 {
@@ -203,7 +205,7 @@ func TestRunBatchBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut strings.Builder
-	if code := runBatch(context.Background(), &out, &errOut, 2, 1, false, false, "", []string{path}); code != 1 {
+	if code := runBatch(context.Background(), &out, &errOut, 2, 1, false, false, "", "", []string{path}); code != 1 {
 		t.Errorf("exit code %d, want 1 under a 1-node budget", code)
 	}
 	if !strings.Contains(out.String(), "error") {
@@ -213,7 +215,73 @@ func TestRunBatchBudget(t *testing.T) {
 
 func TestRunBatchMissingFile(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := runBatch(context.Background(), &out, &errOut, 2, 0, false, false, "", []string{"/nonexistent/histories.txt"}); code != 1 {
+	if code := runBatch(context.Background(), &out, &errOut, 2, 0, false, false, "", "", []string{"/nonexistent/histories.txt"}); code != 1 {
 		t.Errorf("exit code %d, want 1 for an unreadable file", code)
+	}
+}
+
+// TestRunBatchStorageURIs: batch inputs may be storage URIs and
+// -verdicts redirects the verdict stream to an atomically committed
+// storage object; the object's bytes equal what the same run prints to
+// stdout (modulo the source label, which is the URI as given).
+func TestRunBatchStorageURIs(t *testing.T) {
+	content := demos["h4"] + "\n" + demos["fig1"] + "\n"
+	corpus := storage.Mem("opacheck-test-corpus")
+	w, err := corpus.Create("histories.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	uri := "mem://opacheck-test-corpus/histories.txt"
+
+	var out, errOut strings.Builder
+	if code := runBatch(context.Background(), &out, &errOut, 2, 0, false, false, "", "", []string{uri}); code != 0 {
+		t.Fatalf("URI input: exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), uri+":1 opaque ") {
+		t.Errorf("verdict labels should carry the URI as given:\n%s", out.String())
+	}
+
+	// Same run again, with the verdicts going to a storage object.
+	sinkURI := "mem://opacheck-test-corpus/verdicts.log"
+	var out2, errOut2 strings.Builder
+	if code := runBatch(context.Background(), &out2, &errOut2, 2, 0, false, false, "", sinkURI, []string{uri}); code != 0 {
+		t.Fatalf("-verdicts run: exit %d, stderr:\n%s", code, errOut2.String())
+	}
+	if out2.Len() != 0 {
+		t.Errorf("-verdicts run still wrote to stdout:\n%s", out2.String())
+	}
+	r, err := storage.OpenURI(sinkURI)
+	if err != nil {
+		t.Fatalf("verdict object not committed: %v", err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if string(got) != out.String() {
+		t.Errorf("verdict object differs from the stdout stream:\n%q\nvs\n%q", got, out.String())
+	}
+}
+
+// TestRunBatchVerdictsNotCommittedOnInterrupt: a cancelled batch aborts
+// the verdict object — resuming tools never see a partial log.
+func TestRunBatchVerdictsNotCommittedOnInterrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.txt")
+	if err := os.WriteFile(path, []byte(strings.Repeat(demos["h4"]+"\n", 50)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sinkURI := "mem://opacheck-test-interrupt/verdicts.log"
+	var out, errOut strings.Builder
+	if code := runBatch(ctx, &out, &errOut, 2, 0, false, false, "", sinkURI, []string{path}); code != 1 {
+		t.Errorf("interrupted run: exit %d, want 1", code)
+	}
+	if _, err := storage.OpenURI(sinkURI); err == nil {
+		t.Error("interrupted run committed a verdict object")
 	}
 }

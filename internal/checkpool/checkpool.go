@@ -20,6 +20,7 @@ package checkpool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -51,6 +52,27 @@ type Verdict struct {
 // Opaque reports whether the item was checked successfully and found
 // opaque.
 func (v Verdict) Opaque() bool { return v.Err == nil && v.Result.Opaque }
+
+// Line renders the verdict in the canonical one-line batch format, the
+// one `opacheck -parallel` prints and distributed verdict logs store:
+//
+//	corpus.txt:3 opaque nodes=42 order="T1 T2"
+//	corpus.txt:4 non-opaque nodes=97
+//	corpus.txt:5 error parse: bad token "zzz"
+//
+// Keeping the rendering here — next to the Verdict — is what makes a
+// merged distributed log byte-comparable with a single-process run: both
+// paths print exactly this.
+func (v Verdict) Line() string {
+	switch {
+	case v.Err != nil:
+		return fmt.Sprintf("%s error %v", v.Source, v.Err)
+	case v.Result.Opaque:
+		return fmt.Sprintf("%s opaque nodes=%d order=%q", v.Source, v.Result.Nodes, v.Result.Witness)
+	default:
+		return fmt.Sprintf("%s non-opaque nodes=%d", v.Source, v.Result.Nodes)
+	}
+}
 
 // Options tunes a Pool.
 type Options struct {
@@ -258,6 +280,40 @@ func (p *Pool) RunContext(ctx context.Context, in <-chan Item) <-chan Verdict {
 	}()
 
 	return out
+}
+
+// RunTo runs the pool over in and delivers every verdict, in input
+// order, to sink. It is the error-propagating form of RunContext for
+// batch consumers that write verdicts somewhere that can fail (a file, a
+// storage backend, a network log): a sink error cancels the run, drains
+// the remaining verdicts without delivering them, and is returned — so a
+// failed writer surfaces loudly instead of silently dropping the tail of
+// the verdict stream, and a distributed worker can fail its shard lease
+// cleanly rather than report a partial log as complete.
+//
+// A nil return means the input was exhausted and every verdict was
+// delivered to sink. Otherwise RunTo returns the first sink error if the
+// sink failed, else ctx's error if the run was cancelled (admitted
+// verdicts were still delivered in order; input not yet admitted was
+// discarded). sink is called from RunTo's goroutine only, never
+// concurrently.
+func (p *Pool) RunTo(ctx context.Context, in <-chan Item, sink func(Verdict) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var sinkErr error
+	for v := range p.RunContext(ctx, in) {
+		if sinkErr != nil {
+			continue // drain: admitted verdicts still flow, undelivered
+		}
+		if err := sink(v); err != nil {
+			sinkErr = err
+			cancel()
+		}
+	}
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return ctx.Err()
 }
 
 // CheckAll runs the pool over a fixed slice and collects every verdict.

@@ -1,6 +1,7 @@
 package checkpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -176,5 +177,110 @@ func TestEmptyInput(t *testing.T) {
 	close(in)
 	if _, open := <-New(Options{}).Run(in); open {
 		t.Error("verdict channel must close on empty input")
+	}
+}
+
+// TestRunToDeliversAll: with a healthy sink, RunTo delivers every
+// verdict in input order and returns nil.
+func TestRunToDeliversAll(t *testing.T) {
+	hs := corpus(48)
+	in := make(chan Item)
+	go func() {
+		for i, h := range hs {
+			in <- Item{Source: fmt.Sprintf("s%d", i), History: h}
+		}
+		close(in)
+	}()
+	var got []Verdict
+	err := New(Options{Workers: 4}).RunTo(context.Background(), in, func(v Verdict) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunTo = %v, want nil", err)
+	}
+	if len(got) != len(hs) {
+		t.Fatalf("delivered %d verdicts, want %d", len(got), len(hs))
+	}
+	for i, v := range got {
+		if v.Index != i || v.Source != fmt.Sprintf("s%d", i) {
+			t.Fatalf("verdict %d out of order: index=%d source=%q", i, v.Index, v.Source)
+		}
+	}
+}
+
+// TestRunToSinkErrorPropagates: the first sink failure cancels the run,
+// stops deliveries, unblocks the producer, and is returned — the
+// documented error-propagation path for failing verdict sinks.
+func TestRunToSinkErrorPropagates(t *testing.T) {
+	sinkErr := errors.New("disk full")
+	in := make(chan Item)
+	produced := make(chan struct{})
+	go func() {
+		defer close(produced)
+		// More input than the window so the producer would block forever
+		// if a failed sink did not drain the channel.
+		for i, h := range corpus(128) {
+			in <- Item{Source: fmt.Sprintf("s%d", i), History: h}
+		}
+		close(in)
+	}()
+	delivered := 0
+	err := New(Options{Workers: 2, Window: 2}).RunTo(context.Background(), in, func(v Verdict) error {
+		if delivered++; delivered == 3 {
+			return sinkErr
+		}
+		return nil
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("RunTo = %v, want the sink error", err)
+	}
+	if delivered != 3 {
+		t.Errorf("sink called %d times after its error, want exactly 3", delivered)
+	}
+	<-produced // must not deadlock
+}
+
+// TestRunToCancelled: an external cancellation surfaces as ctx's error,
+// so callers can tell "all delivered" from "cut short".
+func TestRunToCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := make(chan Item)
+	go func() {
+		for _, h := range corpus(16) {
+			in <- Item{History: h}
+		}
+		close(in)
+	}()
+	err := New(Options{Workers: 2}).RunTo(ctx, in, func(Verdict) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunTo on a cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestVerdictLine pins the canonical batch line rendering that both
+// opacheck and the distributed verdict logs use.
+func TestVerdictLine(t *testing.T) {
+	h, err := history.Parse("w1(x,1) tryC1 C1 r2(x)->1 tryC2 C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Opaque(h)
+	if err != nil || !res.Opaque {
+		t.Fatalf("fixture history: opaque=%v err=%v", res.Opaque, err)
+	}
+	v := Verdict{Source: "corpus.txt:3", Result: res}
+	want := fmt.Sprintf("corpus.txt:3 opaque nodes=%d order=%q", res.Nodes, res.Witness)
+	if got := v.Line(); got != want {
+		t.Errorf("opaque Line() = %q, want %q", got, want)
+	}
+	v = Verdict{Source: "corpus.txt:4", Result: core.Result{Nodes: 9}}
+	if got := v.Line(); got != "corpus.txt:4 non-opaque nodes=9" {
+		t.Errorf("non-opaque Line() = %q", got)
+	}
+	v = Verdict{Source: "corpus.txt:5", Err: errors.New(`parse: bad token "zzz"`)}
+	if got := v.Line(); got != `corpus.txt:5 error parse: bad token "zzz"` {
+		t.Errorf("error Line() = %q", got)
 	}
 }

@@ -15,6 +15,7 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"otm/internal/history"
@@ -195,6 +196,19 @@ func Corpus(cfg Config, n int, base int64) []history.History {
 		hs[i] = History(cfg, base+int64(i))
 	}
 	return hs
+}
+
+// ShardRange partitions the n histories of a corpus into k contiguous,
+// disjoint shards and returns the half-open global-index range [lo, hi)
+// of shard i (0 ≤ i < k). Shard sizes differ by at most one and the
+// union of all shards is exactly [0, n), so a distributed run where
+// worker i regenerates History(cfg, base+j) for j in its range covers
+// the same corpus as Corpus(cfg, n, base) — without shipping it.
+func ShardRange(n, i, k int) (lo, hi int) {
+	if k < 1 || i < 0 || i >= k || n < 0 {
+		panic(fmt.Sprintf("gen.ShardRange(%d, %d, %d): need 0 ≤ i < k and n ≥ 0", n, i, k))
+	}
+	return i * n / k, (i + 1) * n / k
 }
 
 // Op is one step of a generated STM workload.

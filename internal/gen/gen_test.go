@@ -152,3 +152,51 @@ func TestMakeWorkload(t *testing.T) {
 		}
 	}
 }
+
+// TestShardRange: shards are contiguous, disjoint, balanced (sizes
+// differ by at most one) and cover exactly [0, n) — the property that
+// makes `histgen -shard i/k` regenerate precisely its slice.
+func TestShardRange(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 1}, {1, 1}, {5, 2}, {7, 3}, {2000, 8}, {10, 16}, {3, 7},
+	} {
+		covered := 0
+		prevHi := 0
+		minSize, maxSize := tc.n+1, -1
+		for i := 0; i < tc.k; i++ {
+			lo, hi := ShardRange(tc.n, i, tc.k)
+			if lo != prevHi {
+				t.Fatalf("n=%d k=%d: shard %d starts at %d, want %d (contiguous)", tc.n, tc.k, i, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d k=%d: shard %d is [%d, %d)", tc.n, tc.k, i, lo, hi)
+			}
+			if size := hi - lo; size < minSize {
+				minSize = size
+			} else if size > maxSize {
+				maxSize = size
+			}
+			if maxSize < minSize {
+				maxSize = minSize
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if prevHi != tc.n || covered != tc.n {
+			t.Errorf("n=%d k=%d: shards cover [0, %d) with %d indices, want exactly [0, %d)", tc.n, tc.k, prevHi, covered, tc.n)
+		}
+		if maxSize-minSize > 1 {
+			t.Errorf("n=%d k=%d: shard sizes range %d..%d, want balanced within 1", tc.n, tc.k, minSize, maxSize)
+		}
+	}
+	for _, bad := range []struct{ n, i, k int }{{10, -1, 2}, {10, 2, 2}, {10, 0, 0}, {-1, 0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardRange(%d, %d, %d) did not panic", bad.n, bad.i, bad.k)
+				}
+			}()
+			ShardRange(bad.n, bad.i, bad.k)
+		}()
+	}
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// memFS is the in-memory backend: objects are byte slices in a map. A
+// Writer accumulates into a private buffer and publishes its copy under
+// the store lock on Close, so commits are atomic and an aborted or
+// abandoned writer leaves no trace.
+type memFS struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMem returns a fresh, private in-memory store.
+func NewMem() FS {
+	return &memFS{objects: map[string][]byte{}}
+}
+
+var (
+	memMu     sync.Mutex
+	memStores = map[string]*memFS{}
+)
+
+// Mem returns the process-wide shared in-memory store with the given
+// name, creating it on first use. It backs mem:// URIs: everything in
+// the process that resolves mem://name shares one object map.
+func Mem(name string) FS {
+	memMu.Lock()
+	defer memMu.Unlock()
+	m, ok := memStores[name]
+	if !ok {
+		m = &memFS{objects: map[string][]byte{}}
+		memStores[name] = m
+	}
+	return m
+}
+
+func (m *memFS) Open(name string) (io.ReadCloser, error) {
+	if _, err := cleanName(name); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	b, ok := m.objects[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: %q: %w", name, ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+func (m *memFS) Create(name string) (Writer, error) {
+	if _, err := cleanName(name); err != nil {
+		return nil, err
+	}
+	return &memWriter{fs: m, name: name}, nil
+}
+
+type memWriter struct {
+	fs   *memFS
+	name string
+	buf  bytes.Buffer
+	done bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *memWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.fs.mu.Lock()
+	w.fs.objects[w.name] = bytes.Clone(w.buf.Bytes())
+	w.fs.mu.Unlock()
+	return nil
+}
+
+func (w *memWriter) Abort() error {
+	w.done = true
+	return nil
+}
+
+func (m *memFS) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	var names []string
+	for name := range m.objects {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *memFS) Stat(name string) (Info, error) {
+	if _, err := cleanName(name); err != nil {
+		return Info{}, err
+	}
+	m.mu.RLock()
+	b, ok := m.objects[name]
+	m.mu.RUnlock()
+	if !ok {
+		return Info{}, fmt.Errorf("storage: %q: %w", name, ErrNotExist)
+	}
+	return Info{Name: name, Size: int64(len(b))}, nil
+}
+
+func (m *memFS) Remove(name string) error {
+	if _, err := cleanName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[name]; !ok {
+		return fmt.Errorf("storage: %q: %w", name, ErrNotExist)
+	}
+	delete(m.objects, name)
+	return nil
+}

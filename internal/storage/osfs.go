@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// tmpPrefix marks in-flight objects of the os backend. Temp files live
+// next to their target (same directory, so the commit rename never
+// crosses filesystems) and are excluded from Open/List/Stat.
+const tmpPrefix = ".otm-tmp-"
+
+// osFS is the file backend: objects are regular files under a root
+// directory, names map to slash-separated relative paths. Create writes
+// a hidden temp file, fsyncs it and renames it over the target on Close,
+// so a committed object is atomic and durable and a crashed writer
+// leaves only a temp file that List/Open never surface.
+type osFS struct {
+	root string
+}
+
+// NewOS returns the file backend rooted at dir. The directory is created
+// lazily on the first Create; a missing root simply has nothing to Open
+// or List.
+func NewOS(dir string) FS {
+	return &osFS{root: filepath.Clean(dir)}
+}
+
+func (o *osFS) path(name string) (string, error) {
+	if _, err := cleanName(name); err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(filepath.Base(name), tmpPrefix) {
+		return "", fmt.Errorf("storage: object name %q uses the reserved temp prefix", name)
+	}
+	return filepath.Join(o.root, filepath.FromSlash(name)), nil
+}
+
+func (o *osFS) Open(name string) (io.ReadCloser, error) {
+	p, err := o.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.Open(p)
+}
+
+func (o *osFS) Create(name string) (Writer, error) {
+	p, err := o.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(filepath.Dir(p), tmpPrefix+filepath.Base(p)+"-*")
+	if err != nil {
+		return nil, err
+	}
+	return &osWriter{f: f, target: p}, nil
+}
+
+type osWriter struct {
+	f      *os.File
+	target string
+	done   bool
+}
+
+func (w *osWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+func (w *osWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	// Sync before rename: after Close returns, the object must survive a
+	// crash — the distributed checkpoints rely on it.
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(w.f.Name())
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	return os.Rename(w.f.Name(), w.target)
+}
+
+func (w *osWriter) Abort() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.f.Close()
+	return os.Remove(w.f.Name())
+}
+
+func (o *osFS) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(o.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if p == o.root && os.IsNotExist(err) {
+				return filepath.SkipAll // empty store, not an error
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), tmpPrefix) {
+			return nil
+		}
+		rel, err := filepath.Rel(o.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (o *osFS) Stat(name string) (Info, error) {
+	p, err := o.path(name)
+	if err != nil {
+		return Info{}, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return Info{}, err
+	}
+	if fi.IsDir() {
+		return Info{}, fmt.Errorf("storage: %q: %w", name, ErrNotExist)
+	}
+	return Info{Name: name, Size: fi.Size()}, nil
+}
+
+func (o *osFS) Remove(name string) error {
+	p, err := o.path(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}

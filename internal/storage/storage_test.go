@@ -1,0 +1,231 @@
+package storage_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"otm/internal/storage"
+	"otm/internal/storage/testsuite"
+)
+
+// Both backends — and the Sub wrapper over each — must pass the shared
+// conformance suite. This is the gate a future backend (s3, gcs, ...)
+// has to clear too.
+func TestOSConformance(t *testing.T) {
+	testsuite.Run(t, func(t *testing.T) storage.FS {
+		return storage.NewOS(t.TempDir())
+	})
+}
+
+func TestMemConformance(t *testing.T) {
+	testsuite.Run(t, func(t *testing.T) storage.FS {
+		return storage.NewMem()
+	})
+}
+
+func TestSubConformance(t *testing.T) {
+	t.Run("OverOS", func(t *testing.T) {
+		testsuite.Run(t, func(t *testing.T) storage.FS {
+			return storage.Sub(storage.NewOS(t.TempDir()), "nested/prefix")
+		})
+	})
+	t.Run("OverMem", func(t *testing.T) {
+		testsuite.Run(t, func(t *testing.T) storage.FS {
+			return storage.Sub(storage.NewMem(), "nested")
+		})
+	})
+}
+
+// TestSubIsolation: a Sub view only sees its own prefix of the parent.
+func TestSubIsolation(t *testing.T) {
+	parent := storage.NewMem()
+	a, b := storage.Sub(parent, "a"), storage.Sub(parent, "b")
+	w, _ := a.Create("obj")
+	io.WriteString(w, "in a")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open("obj"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("b sees a's object: %v", err)
+	}
+	names, err := parent.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a/obj" {
+		t.Errorf("parent List = %v, want [a/obj]", names)
+	}
+}
+
+// TestMemSharedStores: mem:// URIs with the same store name resolve to
+// the same objects; different names are isolated.
+func TestMemSharedStores(t *testing.T) {
+	one, err := storage.Resolve("mem://test-shared-stores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := one.Create("x")
+	io.WriteString(w, "shared")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	two, err := storage.Resolve("mem://test-shared-stores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := two.Open("x")
+	if err != nil {
+		t.Fatalf("second resolve of the same store cannot see the object: %v", err)
+	}
+	b, _ := io.ReadAll(r)
+	r.Close()
+	if string(b) != "shared" {
+		t.Errorf("shared store content = %q", b)
+	}
+
+	other, err := storage.Resolve("mem://test-shared-stores-other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Open("x"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("distinct store names share objects: %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	dir := t.TempDir()
+	for _, uri := range []string{dir, "file://" + dir} {
+		fsys, err := storage.Resolve(uri)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", uri, err)
+		}
+		w, err := fsys.Create("probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.WriteString(w, uri)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if b, err := os.ReadFile(filepath.Join(dir, "probe")); err != nil || string(b) != uri {
+			t.Errorf("Resolve(%q) did not land on %s: %q, %v", uri, dir, b, err)
+		}
+	}
+
+	for _, uri := range []string{"", "file://", "mem://", "s3://bucket/x"} {
+		if _, err := storage.Resolve(uri); err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", uri)
+		}
+	}
+	if _, err := storage.Resolve("s3://b/x"); err == nil || !strings.Contains(err.Error(), "known: file, mem") {
+		t.Errorf("unknown scheme error should name the known backends, got %v", err)
+	}
+}
+
+func TestSplitURI(t *testing.T) {
+	cases := []struct {
+		uri, dir, base string
+		wantErr        bool
+	}{
+		{uri: "file:///tmp/run/corpus.txt", dir: "file:///tmp/run", base: "corpus.txt"},
+		{uri: "file:///corpus.txt", dir: "file:///", base: "corpus.txt"},
+		{uri: "mem://b/logs/x.log", dir: "mem://b/logs", base: "x.log"},
+		{uri: "mem://b/x.log", dir: "mem://b", base: "x.log"},
+		{uri: "corpus.txt", dir: ".", base: "corpus.txt"},
+		{uri: "/tmp/corpus.txt", dir: "/tmp", base: "corpus.txt"},
+		{uri: "rel/dir/corpus.txt", dir: "rel/dir", base: "corpus.txt"},
+		{uri: "mem://bucket", wantErr: true}, // a store, not an object
+		{uri: "file:///dir/", wantErr: true}, // empty object name
+		{uri: "", wantErr: true},
+	}
+	for _, c := range cases {
+		dir, base, err := storage.SplitURI(c.uri)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("SplitURI(%q) = (%q, %q), want error", c.uri, dir, base)
+			}
+			continue
+		}
+		if err != nil || dir != c.dir || base != c.base {
+			t.Errorf("SplitURI(%q) = (%q, %q, %v), want (%q, %q)", c.uri, dir, base, err, c.dir, c.base)
+		}
+	}
+}
+
+// TestOpenCreateURI: the single-object helpers compose Split+Resolve for
+// both backends.
+func TestOpenCreateURI(t *testing.T) {
+	for _, root := range []string{"file://" + t.TempDir(), "mem://test-open-create-uri"} {
+		uri := root + "/deep/obj.txt"
+		w, err := storage.CreateURI(uri)
+		if err != nil {
+			t.Fatalf("CreateURI(%q): %v", uri, err)
+		}
+		io.WriteString(w, "via uri")
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := storage.OpenURI(uri)
+		if err != nil {
+			t.Fatalf("OpenURI(%q): %v", uri, err)
+		}
+		b, _ := io.ReadAll(r)
+		r.Close()
+		if string(b) != "via uri" {
+			t.Errorf("OpenURI(%q) = %q", uri, b)
+		}
+	}
+	if _, err := storage.OpenURI("mem://test-open-create-uri/absent"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("OpenURI(absent) = %v, want ErrNotExist", err)
+	}
+}
+
+// TestOSCrashLeavesNoPartial: an abandoned os writer (simulating a
+// killed process) leaves only a hidden temp file that the FS never
+// surfaces, and the previous version stays intact.
+func TestOSCrashLeavesNoPartial(t *testing.T) {
+	dir := t.TempDir()
+	fsys := storage.NewOS(dir)
+	w, _ := fsys.Create("obj")
+	io.WriteString(w, "committed")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	crash, _ := fsys.Create("obj")
+	io.WriteString(crash, "partial write, never closed")
+	// No Close, no Abort: the writer is simply abandoned.
+
+	names, err := fsys.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names) != "[obj]" {
+		t.Errorf("List after crash = %v, want [obj]", names)
+	}
+	r, err := fsys.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r)
+	r.Close()
+	if string(b) != "committed" {
+		t.Errorf("crashed writer corrupted the committed version: %q", b)
+	}
+}
+
+// TestOSReservedTempPrefix: object names that collide with the os
+// backend's temp-file namespace are rejected, so List can always tell
+// committed objects from in-flight ones.
+func TestOSReservedTempPrefix(t *testing.T) {
+	fsys := storage.NewOS(t.TempDir())
+	if _, err := fsys.Create(".otm-tmp-sneaky"); err == nil {
+		t.Error("Create with the reserved temp prefix must fail")
+	}
+}

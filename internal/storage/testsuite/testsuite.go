@@ -1,0 +1,278 @@
+// Package testsuite is the conformance suite every storage.FS backend
+// must pass. Backend packages call Run from their own tests with a
+// factory producing a fresh, empty FS per subtest; the suite pins the
+// contract the distributed checker depends on — atomic commit-on-close,
+// no partial visibility, ErrNotExist discipline, sorted prefix listing,
+// name validation — so a new backend (or a wrapper like storage.Sub) is
+// correct by construction once it is green here.
+package testsuite
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"otm/internal/storage"
+)
+
+// Run exercises the full FS contract against fresh instances from open.
+func Run(t *testing.T, open func(t *testing.T) storage.FS) {
+	t.Helper()
+	tests := []struct {
+		name string
+		fn   func(t *testing.T, fsys storage.FS)
+	}{
+		{"CreateOpenRoundTrip", testRoundTrip},
+		{"OverwriteReplacesAtomically", testOverwrite},
+		{"NotExistErrors", testNotExist},
+		{"UncommittedInvisible", testUncommittedInvisible},
+		{"AbortDiscards", testAbortDiscards},
+		{"CloseIdempotent", testCloseIdempotent},
+		{"ListPrefixSorted", testList},
+		{"StatSize", testStat},
+		{"Remove", testRemove},
+		{"RejectsBadNames", testBadNames},
+		{"ConcurrentCreates", testConcurrent},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) { tc.fn(t, open(t)) })
+	}
+}
+
+func write(t *testing.T, fsys storage.FS, name, content string) {
+	t.Helper()
+	w, err := fsys.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", name, err)
+	}
+	if _, err := io.WriteString(w, content); err != nil {
+		t.Fatalf("Write(%q): %v", name, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close(%q): %v", name, err)
+	}
+}
+
+func read(t *testing.T, fsys storage.FS, name string) string {
+	t.Helper()
+	r, err := fsys.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", name, err)
+	}
+	return string(b)
+}
+
+func testRoundTrip(t *testing.T, fsys storage.FS) {
+	write(t, fsys, "a/b/c.txt", "hello\nworld\n")
+	if got := read(t, fsys, "a/b/c.txt"); got != "hello\nworld\n" {
+		t.Errorf("round trip = %q", got)
+	}
+	write(t, fsys, "empty", "")
+	if got := read(t, fsys, "empty"); got != "" {
+		t.Errorf("empty object = %q", got)
+	}
+}
+
+func testOverwrite(t *testing.T, fsys storage.FS) {
+	write(t, fsys, "obj", "first version")
+	write(t, fsys, "obj", "second")
+	if got := read(t, fsys, "obj"); got != "second" {
+		t.Errorf("after overwrite = %q, want the full second version", got)
+	}
+	names, err := fsys.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "obj" {
+		t.Errorf("List after overwrite = %v, want [obj]", names)
+	}
+}
+
+func testNotExist(t *testing.T, fsys storage.FS) {
+	if _, err := fsys.Open("missing"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Open(missing) = %v, want ErrNotExist", err)
+	}
+	if _, err := fsys.Stat("missing"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Stat(missing) = %v, want ErrNotExist", err)
+	}
+	if err := fsys.Remove("missing"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Remove(missing) = %v, want ErrNotExist", err)
+	}
+}
+
+func testUncommittedInvisible(t *testing.T, fsys storage.FS) {
+	w, err := fsys.Create("pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "not committed yet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open("pending"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Open of uncommitted object = %v, want ErrNotExist", err)
+	}
+	names, err := fsys.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("List sees uncommitted objects: %v", names)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, fsys, "pending"); got != "not committed yet" {
+		t.Errorf("after commit = %q", got)
+	}
+}
+
+func testAbortDiscards(t *testing.T, fsys storage.FS) {
+	write(t, fsys, "obj", "old")
+	w, err := fsys.Create("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "new but aborted"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if got := read(t, fsys, "obj"); got != "old" {
+		t.Errorf("after abort = %q, want the previous version", got)
+	}
+	// Abort of a never-committed name leaves nothing behind.
+	w2, err := fsys.Create("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w2, "x")
+	w2.Abort()
+	if _, err := fsys.Open("ghost"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("aborted object exists: %v", err)
+	}
+}
+
+func testCloseIdempotent(t *testing.T, fsys storage.FS) {
+	w, err := fsys.Create("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "content")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Errorf("Abort after Close = %v, want nil no-op", err)
+	}
+	if got := read(t, fsys, "obj"); got != "content" {
+		t.Errorf("Abort after Close discarded the commit: %q", got)
+	}
+}
+
+func testList(t *testing.T, fsys storage.FS) {
+	for _, name := range []string{"logs/2.log", "logs/10.log", "logs/1.log", "manifest.json", "done/1"} {
+		write(t, fsys, name, name)
+	}
+	names, err := fsys.List("logs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"logs/1.log", "logs/10.log", "logs/2.log"} // lexicographic
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("List(logs/) = %v, want %v", names, want)
+	}
+	all, err := fsys.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 || !sort.StringsAreSorted(all) {
+		t.Errorf("List(\"\") = %v, want all 5 names sorted", all)
+	}
+	none, err := fsys.List("nope/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("List(nope/) = %v, want empty", none)
+	}
+}
+
+func testStat(t *testing.T, fsys storage.FS) {
+	write(t, fsys, "obj", "12345")
+	info, err := fsys.Stat("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "obj" || info.Size != 5 {
+		t.Errorf("Stat = %+v, want {obj 5}", info)
+	}
+}
+
+func testRemove(t *testing.T, fsys storage.FS) {
+	write(t, fsys, "obj", "x")
+	if err := fsys.Remove("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open("obj"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Open after Remove = %v, want ErrNotExist", err)
+	}
+}
+
+func testBadNames(t *testing.T, fsys storage.FS) {
+	for _, name := range []string{"", "/abs", "trailing/", "a//b", "a/../b", ".", "..", "../escape"} {
+		if _, err := fsys.Create(name); err == nil {
+			t.Errorf("Create(%q) accepted an invalid name", name)
+		}
+		if _, err := fsys.Open(name); err == nil {
+			t.Errorf("Open(%q) accepted an invalid name", name)
+		}
+	}
+}
+
+func testConcurrent(t *testing.T, fsys storage.FS) {
+	const n = 16
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("c/%02d", i)
+			w, err := fsys.Create(name)
+			if err != nil {
+				t.Errorf("Create(%q): %v", name, err)
+				return
+			}
+			io.WriteString(w, strings.Repeat("x", i))
+			if err := w.Close(); err != nil {
+				t.Errorf("Close(%q): %v", name, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	names, err := fsys.List("c/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != n {
+		t.Errorf("List after %d concurrent creates = %d names", n, len(names))
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("c/%02d", i)
+		if got := read(t, fsys, name); len(got) != i {
+			t.Errorf("%q = %d bytes, want %d", name, len(got), i)
+		}
+	}
+}
