@@ -245,6 +245,17 @@ func BenchmarkCheckOpacity(b *testing.B) {
 // completions there. Sequential must report strictly fewer nodes than
 // reference at far lower time; see README.md's Performance section for
 // recorded before/after numbers.
+//
+// The "symmetric" corpus — pinned by testdata/corpora/symmetric.json,
+// clone-heavy histories of interchangeable transactions — is the regime
+// the symmetry reduction targets. Sequential runs additionally report
+// sym-prunes/corpus and legal-skips/corpus (candidate placements skipped
+// by the symmetry reduction and the incremental legality watch), and the
+// nosym variant reruns the sequential configuration with the symmetry
+// reduction disabled (core.Config.DisableSym): nodes/corpus of
+// symmetric/nosym over symmetric/sequential is the measured reduction
+// factor CI asserts on, and on the asymmetric corpora the two variants
+// must agree — the reduction never adds nodes.
 func BenchmarkCheckOpacityBatch(b *testing.B) {
 	memoHitRate := func(s core.Stats) float64 {
 		if s.MemoHits+s.MemoMisses == 0 {
@@ -252,35 +263,46 @@ func BenchmarkCheckOpacityBatch(b *testing.B) {
 		}
 		return float64(s.MemoHits) / float64(s.MemoHits+s.MemoMisses)
 	}
+	symSpec, err := gen.LoadSpec("testdata/corpora/symmetric.json")
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, corpus := range []struct {
 		name string
 		hs   []history.History
 	}{
 		{"mixed", gen.Corpus(gen.Config{Txs: 6, Objs: 3, MaxOps: 4, PStaleRead: 0.3}, 1000, 1)},
 		{"commitpending", gen.Corpus(gen.Config{Txs: 6, Objs: 3, MaxOps: 4, PStaleRead: 0.3, PLeaveLive: 0.8}, 1000, 1)},
+		{"symmetric", symSpec.Corpus()},
 	} {
 		hs := corpus.hs
-		b.Run(corpus.name+"/sequential", func(b *testing.B) {
-			b.ReportAllocs()
-			nodes := 0
-			var stats core.Stats
-			for i := 0; i < b.N; i++ {
-				ctx := core.NewSearchContext()
-				cfg := core.Config{Context: ctx}
-				nodes = 0
-				for _, h := range hs {
-					res, err := core.Check(h, cfg)
-					if err != nil {
-						b.Fatal(err)
+		sequential := func(disableSym bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				nodes := 0
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					ctx := core.NewSearchContext()
+					cfg := core.Config{Context: ctx, DisableSym: disableSym}
+					nodes = 0
+					for _, h := range hs {
+						res, err := core.Check(h, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						nodes += res.Nodes
 					}
-					nodes += res.Nodes
+					stats = ctx.Stats()
 				}
-				stats = ctx.Stats()
+				b.ReportMetric(float64(nodes), "nodes/corpus")
+				b.ReportMetric(float64(stats.States), "states-interned")
+				b.ReportMetric(memoHitRate(stats), "memo-hit-rate")
+				b.ReportMetric(float64(stats.SymPrunes), "sym-prunes/corpus")
+				b.ReportMetric(float64(stats.LegalSkips), "legal-skips/corpus")
 			}
-			b.ReportMetric(float64(nodes), "nodes/corpus")
-			b.ReportMetric(float64(stats.States), "states-interned")
-			b.ReportMetric(memoHitRate(stats), "memo-hit-rate")
-		})
+		}
+		b.Run(corpus.name+"/sequential", sequential(false))
+		b.Run(corpus.name+"/nosym", sequential(true))
 		b.Run(corpus.name+"/reference", func(b *testing.B) {
 			b.ReportAllocs()
 			cfg := core.Config{DisableMemo: true}

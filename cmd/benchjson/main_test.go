@@ -19,6 +19,7 @@ PASS
 ok  	otm/internal/core	1.2s
 pkg: otm
 BenchmarkCheckOpacityBatch/mixed/shared4-8         	      60	  23674066 ns/op	         0.1404 memo-hit-rate	     10853 nodes/corpus	       685.0 states-interned	 6933293 B/op	   21130 allocs/op
+BenchmarkCheckOpacityBatch/symmetric/sequential-8  	       1	   5894659 ns/op	      2451 legal-skips/corpus	         0.3436 memo-hit-rate	      7482 nodes/corpus	        37.00 states-interned	     13003 sym-prunes/corpus	 2955344 B/op	    5963 allocs/op
 PASS
 ok  	otm	2.1s
 pkg: otm/internal/dist
@@ -35,8 +36,8 @@ func TestParse(t *testing.T) {
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
 		t.Errorf("headers: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(rep.Benchmarks))
 	}
 	soak := rep.Benchmarks[rep.Index["otm:BenchmarkMonitorSoak/trunc-20k-8"]]
 	if soak.Pkg != "otm" || soak.Iterations != 1 {
@@ -61,6 +62,14 @@ func TestParse(t *testing.T) {
 	sh := rep.Benchmarks[rep.Index["otm:BenchmarkCheckOpacityBatch/mixed/shared4-8"]]
 	if sh.Metrics["memo-hit-rate"] != 0.1404 || sh.Metrics["states-interned"] != 685 {
 		t.Errorf("shared batch metrics = %v", sh.Metrics)
+	}
+	// The symmetry-reduction counters of the symmetric-corpus batch run
+	// land under their exact metric names — the CI bench assertion and
+	// trajectory tooling key on sym-prunes/corpus and legal-skips/corpus.
+	sym := rep.Benchmarks[rep.Index["otm:BenchmarkCheckOpacityBatch/symmetric/sequential-8"]]
+	if sym.Metrics["sym-prunes/corpus"] != 13003 || sym.Metrics["legal-skips/corpus"] != 2451 ||
+		sym.Metrics["nodes/corpus"] != 7482 {
+		t.Errorf("symmetric batch metrics = %v", sym.Metrics)
 	}
 	// The distributed benchmark's throughput units (with a "/s" suffix
 	// and an "=" in the sub-benchmark name) parse under their exact names.

@@ -6,6 +6,12 @@
 // Each history is printed on one line; a trailing comment records the
 // seed so failures are reproducible.
 //
+// -clones N with N > 1 switches to the symmetric-workload generator:
+// every history holds -txs transaction templates instantiated N times
+// each, all instances pairwise concurrent and fully interchangeable —
+// the corpus shape that exercises the search engine's symmetry
+// reduction (see `opacheck -parallel`'s reductions summary line).
+//
 // -shard i/k restricts the output to the i-th of k contiguous slices of
 // the corpus (0 ≤ i < k). History j always uses seed+j no matter which
 // shard emits it, so the slices are deterministic and concatenating
@@ -35,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed (history i uses seed+i)")
 	stale := flag.Float64("stale", 0.25, "probability of adversarial read values")
 	init := flag.Bool("init", false, "prepend the initializing transaction T0")
+	clones := flag.Int("clones", 1, "interchangeable instances per transaction template (>1 switches to the symmetric-workload generator; -txs counts templates)")
 	shard := flag.String("shard", "", "emit only slice i of k (\"i/k\"); concatenated slices equal the full corpus")
 	flag.Parse()
 
@@ -46,7 +53,7 @@ func main() {
 
 	cfg := gen.Config{
 		Txs: *txs, Objs: *objs, MaxOps: *maxOps,
-		PStaleRead: *stale, WithInit: *init,
+		PStaleRead: *stale, WithInit: *init, Clones: *clones,
 	}
 	w := bufio.NewWriter(os.Stdout)
 	emit(w, cfg, *seed, lo, hi)

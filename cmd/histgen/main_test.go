@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"otm/internal/gen"
+	"otm/internal/history"
 )
 
 // TestShardedGenerationConcatenates is the -shard contract: for any k,
@@ -32,6 +33,32 @@ func TestShardedGenerationConcatenates(t *testing.T) {
 		}
 		if cat.String() != full.String() {
 			t.Errorf("k=%d: concatenated shards differ from the full corpus", k)
+		}
+	}
+}
+
+// TestEmitClones: the -clones path emits parseable symmetric workloads —
+// every line still one history with the trailing seed comment, and the
+// history holding txs×clones transactions (plus T0 under -init).
+func TestEmitClones(t *testing.T) {
+	cfg := gen.Config{Txs: 2, Objs: 2, MaxOps: 2, Clones: 3, WithInit: true}
+	var out strings.Builder
+	emit(&out, cfg, 5, 0, 4)
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	for i, line := range lines {
+		src, comment, ok := strings.Cut(line, "#")
+		if !ok || !strings.Contains(comment, fmt.Sprintf("seed=%d", 5+i)) {
+			t.Fatalf("line %d lacks the seed comment: %q", i, line)
+		}
+		h, err := history.Parse(strings.TrimSpace(src))
+		if err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if got := len(h.Transactions()); got != 2*3+1 {
+			t.Errorf("line %d: %d transactions, want txs*clones+1 = 7", i, got)
 		}
 	}
 }

@@ -49,7 +49,10 @@
 // A summary — the total node count, plus the engine's table counters:
 // per-worker search contexts by default, the pool-wide shared tables
 // under -shared, and an explicit "no context counters" note under
-// -reference — goes to stderr. The exit status is 1 if any line
+// -reference — goes to stderr. Context-backed modes add a reductions
+// line counting the symmetry classes the searches detected and the
+// candidate placements skipped by the symmetry and incremental-legality
+// reductions. The exit status is 1 if any line
 // errored (parse failure, malformed history, search-budget exhaustion),
 // else 0; non-opaque is a verdict, not an error. SIGINT/SIGTERM cancel
 // the batch gracefully: already-admitted histories still get their
@@ -306,9 +309,13 @@ func runBatch(ctx context.Context, out, errW io.Writer, workers, maxNodes int, r
 	case shared:
 		fmt.Fprintf(errW, "opacheck: shared tables: %d states interned (%d object atoms), %d memo entries (%d hits, %d misses), %d transitions cached (%d hits), %d rebuilds\n",
 			stats.States, stats.Atoms, stats.MemoEntries, stats.MemoHits, stats.MemoMisses, stats.TransMisses, stats.TransHits, stats.Flushes)
+		fmt.Fprintf(errW, "opacheck: reductions: %d symmetry classes, %d sym prunes, %d legality skips\n",
+			stats.SymClasses, stats.SymPrunes, stats.LegalSkips)
 	default:
 		fmt.Fprintf(errW, "opacheck: contexts: %d states interned (%d object atoms), %d memo entries (%d hits), %d transitions cached (%d hits)\n",
 			stats.States, stats.Atoms, stats.MemoEntries, stats.MemoHits, stats.TransMisses, stats.TransHits)
+		fmt.Fprintf(errW, "opacheck: reductions: %d symmetry classes, %d sym prunes, %d legality skips\n",
+			stats.SymClasses, stats.SymPrunes, stats.LegalSkips)
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(errW, "opacheck: interrupted; remaining input skipped")

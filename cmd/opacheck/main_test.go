@@ -120,7 +120,10 @@ func TestRunBatch(t *testing.T) {
 // line (the -parallel -reference mislabeling bug).
 func TestRunBatchSummaries(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "histories.txt")
-	content := demos["h4"] + "\n" + demos["fig1"] + "\n" + demos["writers"] + "\n"
+	// The last line holds two interchangeable readers, so the symmetry
+	// counters of the reductions line are exercised, not just printed.
+	content := demos["h4"] + "\n" + demos["fig1"] + "\n" + demos["writers"] + "\n" +
+		"r1(x)->0 r2(x)->0 tryC1 C1 tryC2 C2\n"
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -135,19 +138,23 @@ func TestRunBatchSummaries(t *testing.T) {
 	}
 
 	def := run(false, false)
-	if !strings.Contains(def, "opacheck: 3 histories:") {
+	if !strings.Contains(def, "opacheck: 4 histories:") {
 		t.Errorf("default summary lacks the totals line:\n%s", def)
 	}
 	if !strings.Contains(def, "opacheck: contexts: ") || strings.Contains(def, "contexts: 0 states interned") {
 		t.Errorf("default summary must report nonzero per-worker context counters:\n%s", def)
+	}
+	if !strings.Contains(def, "opacheck: reductions: ") || strings.Contains(def, "reductions: 0 symmetry classes") {
+		t.Errorf("default summary must report the symmetry class count of the clone input:\n%s", def)
 	}
 
 	ref := run(true, false)
 	if !strings.Contains(ref, "opacheck: reference engine: no search contexts") {
 		t.Errorf("reference summary must say no context counters were collected:\n%s", ref)
 	}
-	if strings.Contains(ref, "opacheck: contexts:") || strings.Contains(ref, "states interned") {
-		t.Errorf("reference summary must not print a context counter line:\n%s", ref)
+	if strings.Contains(ref, "opacheck: contexts:") || strings.Contains(ref, "states interned") ||
+		strings.Contains(ref, "opacheck: reductions:") {
+		t.Errorf("reference summary must not print context counter lines:\n%s", ref)
 	}
 
 	sh := run(false, true)
@@ -156,6 +163,9 @@ func TestRunBatchSummaries(t *testing.T) {
 	}
 	if !strings.Contains(sh, "rebuilds") {
 		t.Errorf("shared summary must report the generation rebuild count:\n%s", sh)
+	}
+	if !strings.Contains(sh, "opacheck: reductions: ") || strings.Contains(sh, "reductions: 0 symmetry classes") {
+		t.Errorf("shared summary must report the symmetry class count of the clone input:\n%s", sh)
 	}
 }
 

@@ -34,6 +34,17 @@ func (b bitset) intersects(other bitset) bool {
 	return false
 }
 
+// equal reports whether b and other contain exactly the same members.
+// The two bitsets must have the same word length.
+func (b bitset) equal(other bitset) bool {
+	for w, bits := range other {
+		if bits != b[w] {
+			return false
+		}
+	}
+	return true
+}
+
 // appendKey appends the raw words of b to dst, producing a fixed-width
 // prefix for memoization keys.
 func (b bitset) appendKey(dst []byte) []byte {

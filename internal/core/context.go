@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"strconv"
-
 	"otm/internal/history"
 	"otm/internal/spec"
 )
@@ -42,6 +39,17 @@ type Stats struct {
 	// Flushes counts the times the state-dependent tables were discarded
 	// because a history introduced objects unknown to the context.
 	Flushes int
+	// SymClasses counts the non-singleton symmetry classes detected
+	// across calls (groups of ≥2 interchangeable transactions whose
+	// placements the search canonicalizes); SymPrunes counts candidate
+	// placements skipped because an earlier member of the candidate's
+	// class was still unplaced; LegalSkips counts candidate placements
+	// skipped by the incremental legality watch without probing the
+	// transition cache (the candidate was known-illegal on the current
+	// states of every object it touches).
+	SymClasses int
+	SymPrunes  int
+	LegalSkips int
 }
 
 // Add accumulates o into s.
@@ -56,6 +64,9 @@ func (s *Stats) Add(o Stats) {
 	s.TransHits += o.TransHits
 	s.TransMisses += o.TransMisses
 	s.Flushes += o.Flushes
+	s.SymClasses += o.SymClasses
+	s.SymPrunes += o.SymPrunes
+	s.LegalSkips += o.LegalSkips
 }
 
 // transKey keys the transition cache: replaying the transaction with
@@ -355,32 +366,15 @@ func (c *SearchContext) initialState(objs spec.Objects) stateID {
 }
 
 // sigOf interns the replay signature of one transaction's operation
-// executions: the object (by registry index), operation, argument and
-// return value of every completed execution, in order. Pending
-// invocations are excluded — replay skips them. Two transactions with
-// equal signatures replay identically from any state, so the signature
-// is the transaction's identity in the transition cache and the problem
-// signature, and it is stable across calls (registry indices never
-// change).
+// executions — the canonical history.OpSignature rendering (object,
+// operation, argument and return value of every completed execution, in
+// order, injection-safe). Two transactions with equal signatures replay
+// identically from any state, so the signature is the transaction's
+// identity in the transition cache, the problem signature and the
+// symmetry-class computation, and it is stable across calls and contexts
+// (the rendering references object names, never registry indices).
 func (c *SearchContext) sigOf(execs []history.OpExec) int32 {
-	// Record layout per execution: [objIdx:4][len(op):4][op]
-	// [len(arg render):4][arg render][len(ret render):4][ret render].
-	// Every variable-length field is length-prefixed, so no operation
-	// name or value content — however crafted — can forge a field or
-	// record boundary and make two different executions render alike
-	// (the separator-injection hazard that also motivated the quoting
-	// in spec's State keys).
-	buf := c.keyBuf[:0]
-	for _, e := range execs {
-		if e.Pending {
-			continue
-		}
-		j := c.objIdx[e.Obj]
-		buf = append(buf, byte(j), byte(j>>8), byte(j>>16), byte(j>>24))
-		buf = appendFramed(buf, func(b []byte) []byte { return append(b, e.Op...) })
-		buf = appendFramed(buf, func(b []byte) []byte { return appendValue(b, e.Arg) })
-		buf = appendFramed(buf, func(b []byte) []byte { return appendValue(b, e.Ret) })
-	}
+	buf := history.AppendOpSignature(c.keyBuf[:0], execs)
 	c.keyBuf = buf
 	if c.shared != nil {
 		g := c.sgen
@@ -413,36 +407,6 @@ func appendFramed(buf []byte, render func([]byte) []byte) []byte {
 	buf[start+2] = byte(n >> 16)
 	buf[start+3] = byte(n >> 24)
 	return buf
-}
-
-// appendValue renders one operation argument or return value into a
-// signature, tagged by type so that values whose renderings would
-// otherwise collide (int 1 vs string "1" vs the printed form of some
-// struct) stay distinct — they step specifications differently. Callers
-// frame the result by length (appendFramed), so the rendering itself
-// need not escape anything. The common history value types render
-// without fmt; everything else falls back to %T:%v.
-func appendValue(buf []byte, v history.Value) []byte {
-	switch x := v.(type) {
-	case nil:
-		return append(buf, 'n')
-	case int:
-		buf = append(buf, 'i')
-		return strconv.AppendInt(buf, int64(x), 10)
-	case string:
-		buf = append(buf, 's')
-		return append(buf, x...)
-	case bool:
-		if x {
-			return append(buf, 'b', '1')
-		}
-		return append(buf, 'b', '0')
-	case int64:
-		buf = append(buf, 'l')
-		return strconv.AppendInt(buf, x, 10)
-	default:
-		return fmt.Appendf(buf, "T%T:%v", v, v)
-	}
 }
 
 // step replays the transaction with the given signature on state vid,
@@ -564,13 +528,19 @@ const (
 // problemOf interns the signature of one search problem: the problem
 // kind, the number of transactions, the initial state, and per
 // transaction (in placement-index order) its replay signature, commit
-// decision and predecessor bitset. Memo entries are scoped by the
-// resulting id, so two calls share them exactly when they pose the same
-// search problem — the transaction ids themselves are irrelevant to
-// failure verdicts and do not participate. Footprints (and with them the
-// partial-order reduction) are a function of the replay signatures, so
-// they need no separate representation.
-func (c *SearchContext) problemOf(kind byte, salt int32, init stateID, sigs []int32, decide []Decision, preds []bitset) int32 {
+// decision, predecessor bitset and symmetry-class predecessor. Memo
+// entries are scoped by the resulting id, so two calls share them exactly
+// when they pose the same search problem — the transaction ids themselves
+// are irrelevant to failure verdicts and do not participate. Footprints
+// (and with them the partial-order reduction) are a function of the
+// replay signatures, so they need no separate representation. The
+// classPrev entries are a pure function of the preceding fields today,
+// but they shape which subtrees the symmetry-reduced engine explores, so
+// they participate explicitly: an engine variant with the reduction
+// disabled (SerializeOptions.DisableSym) poses all-singleton classes and
+// can never share memo entries with a reduced search over real classes —
+// even across workers of one SharedTables pool.
+func (c *SearchContext) problemOf(kind byte, salt int32, init stateID, sigs []int32, decide []Decision, preds []bitset, classPrev []int32) int32 {
 	buf := c.keyBuf[:0]
 	buf = append(buf, kind, byte(salt), byte(salt>>8), byte(salt>>16), byte(salt>>24))
 	n := uint32(len(sigs))
@@ -580,6 +550,8 @@ func (c *SearchContext) problemOf(kind byte, salt int32, init stateID, sigs []in
 		s := sigs[i]
 		buf = append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24), byte(decide[i]))
 		buf = preds[i].appendKey(buf)
+		p := classPrev[i]
+		buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
 	}
 	c.keyBuf = buf
 	if c.shared != nil {

@@ -298,23 +298,6 @@ func TestSigOfResistsSeparatorInjection(t *testing.T) {
 	}
 }
 
-// TestAppendValueDistinguishesTypes: signature rendering must keep
-// values distinct across dynamic types — colliding renders would merge
-// the replay signatures of transactions that step specifications
-// differently.
-func TestAppendValueDistinguishesTypes(t *testing.T) {
-	type point struct{ X int }
-	vals := []history.Value{nil, 0, "0", int64(0), true, false, "true", point{1}, "{1}"}
-	seen := map[string]history.Value{}
-	for _, v := range vals {
-		k := string(appendValue(nil, v))
-		if prev, dup := seen[k]; dup {
-			t.Errorf("values %#v and %#v both render as %q", prev, v, k)
-		}
-		seen[k] = v
-	}
-}
-
 // TestIndexOfMiss covers the not-found path of the linear transaction
 // lookup shared by the searcher and witness assembly.
 func TestIndexOfMiss(t *testing.T) {

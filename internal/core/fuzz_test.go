@@ -74,3 +74,76 @@ func FuzzCheckOpacityDiff(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCheckOpacitySym is the symmetry-reduction differential fuzzer: on
+// every parseable, well-formed history, the symmetry-reduced engine, the
+// unreduced engine (core.Config.DisableSym) and the per-completion
+// reference must agree, the reduced engine must not explore more nodes
+// than the unreduced one, and opaque verdicts must carry a valid
+// Definition 1 witness. Seeds come from the clone-heavy symmetric corpus
+// (interchangeable transactions, maximal class sizes) — the regime where
+// a canonicalization bug would actually lose witnesses — so mutation
+// explores the boundary where near-clones stop being interchangeable.
+func FuzzCheckOpacitySym(f *testing.F) {
+	for _, h := range gen.Corpus(gen.Config{
+		Txs: 3, Objs: 2, MaxOps: 3, Clones: 3, PStaleRead: 0.3, PLeaveLive: 0.4,
+	}, 300, 0) {
+		f.Add(h.String())
+	}
+	// Near-miss seeds: clones of a template differing only in fate, the
+	// cheapest mutation that must break a class.
+	f.Add("r1(x)->0 r2(x)->0 tryC1 C1 tryC2 A2")
+	f.Add("w1(x,1) w2(x,1) w3(x,1) tryC1 tryC2 tryC3")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := history.Parse(src)
+		if err != nil || h.WellFormed() != nil {
+			return
+		}
+		if len(h) > 72 || len(h.Transactions()) > 9 || len(h.CommitPendingTxs()) > 6 {
+			return
+		}
+		cfg := core.Config{MaxNodes: 200_000}
+		sym, errS := core.Check(h, cfg)
+		cfg.DisableSym = true
+		nosym, errN := core.Check(h, cfg)
+		cfg = core.Config{MaxNodes: 200_000, DisableMemo: true}
+		ref, errR := core.Check(h, cfg)
+		if errors.Is(errS, core.ErrSearchLimit) || errors.Is(errN, core.ErrSearchLimit) ||
+			errors.Is(errR, core.ErrSearchLimit) {
+			return // starved: nothing to compare
+		}
+		if errS != nil || errN != nil || errR != nil {
+			t.Fatalf("reduced err=%v, unreduced err=%v, reference err=%v on well-formed input:\n%s",
+				errS, errN, errR, h.Format())
+		}
+		if sym.Opaque != nosym.Opaque || sym.Opaque != ref.Opaque {
+			t.Fatalf("reduced=%v unreduced=%v reference=%v:\n%s",
+				sym.Opaque, nosym.Opaque, ref.Opaque, h.Format())
+		}
+		if sym.Nodes > nosym.Nodes {
+			t.Fatalf("reduced search explored %d nodes, unreduced %d:\n%s",
+				sym.Nodes, nosym.Nodes, h.Format())
+		}
+		if !sym.Opaque {
+			return
+		}
+		w := sym.Witness
+		s := w.Sequential
+		if !s.Sequential() || !s.Complete() {
+			t.Fatalf("witness S not complete-sequential:\n%s", s.Format())
+		}
+		if err := w.Completion.WellFormed(); err != nil {
+			t.Fatalf("witness completion malformed: %v", err)
+		}
+		if !history.Equivalent(s, w.Completion) {
+			t.Fatalf("witness S not equivalent to its completion:\n%s", s.Format())
+		}
+		if !history.PreservesRealTimeOrder(h, s) {
+			t.Fatalf("witness S breaks ≺H:\n%s", s.Format())
+		}
+		if tx, ok := core.AllLegal(s, nil); !ok {
+			t.Fatalf("T%d illegal in witness S:\n%s", int(tx), s.Format())
+		}
+	})
+}

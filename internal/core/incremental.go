@@ -230,6 +230,7 @@ func (inc *Incremental) check() error {
 			Nodes:         &nodes, // accumulates: one budget across all roots
 			Context:       inc.ctx,
 			Hint:          hint,
+			DisableSym:    inc.cfg.DisableSym,
 		})
 		if err != nil || ser != nil {
 			if ser != nil {

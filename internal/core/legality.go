@@ -1,0 +1,66 @@
+package core
+
+import "math/bits"
+
+// The incremental legality watch: DPLL-style propagation of placement
+// feasibility. A candidate's legality from the current object states is
+// a pure function of the states of the objects in its footprint (replay
+// touches nothing else), so a verdict computed once stays valid until
+// one of those objects changes. The searcher tracks changes with version
+// counters instead of re-deriving verdicts through the transition cache:
+// every state transition — a state-changing placement on the way down
+// and its revert on the way back up — bumps the call-local clock and
+// stamps the placed transaction's footprint objects (touch), and a
+// cached verdict is fresh exactly while no watched object's stamp
+// exceeds the verdict's (legalFresh). Bumping on backtrack is what makes
+// the stamp test sound: a verdict computed inside a subtree must not
+// survive the revert of the states it was computed against.
+
+// stepCand resolves candidate i's placement from state vid: the cached
+// illegal verdict when it is still fresh (no transition-cache probe, no
+// replay — counted as a LegalSkip), the transition cache otherwise,
+// refreshing the watch entry either way. Legal verdicts always go to the
+// transition cache: the successor state is vid-specific, while the watch
+// only caches the boolean.
+func (s *searcher) stepCand(i int, vid stateID) (stateID, bool) {
+	if s.legalVer[i] >= 0 && !s.legalVal[i] && s.legalFresh(i) {
+		s.ctx.stats.LegalSkips++
+		return -1, false
+	}
+	next, legal := s.ctx.step(vid, s.sigs[i], s.execs[i])
+	s.legalVal[i] = legal
+	s.legalVer[i] = s.ver
+	return next, legal
+}
+
+// legalFresh reports whether candidate i's cached verdict predates no
+// change of any object in its footprint.
+func (s *searcher) legalFresh(i int) bool {
+	lv := s.legalVer[i]
+	for w, word := range s.foot[i] {
+		base := w << 6
+		for word != 0 {
+			if s.objVer[base+bits.TrailingZeros64(word)] > lv {
+				return false
+			}
+			word &= word - 1
+		}
+	}
+	return true
+}
+
+// touch records that the objects in transaction i's footprint may have
+// changed: callers invoke it around every state-changing recursion, once
+// before (the placement changes the states) and once after (the
+// backtrack reverts them).
+func (s *searcher) touch(i int) {
+	s.ver++
+	v := s.ver
+	for w, word := range s.foot[i] {
+		base := w << 6
+		for word != 0 {
+			s.objVer[base+bits.TrailingZeros64(word)] = v
+			word &= word - 1
+		}
+	}
+}

@@ -64,6 +64,10 @@ type Config struct {
 	// backtracking search without partial-order reduction.
 	// Differential-testing hook; not for production paths.
 	DisableMemo bool
+	// DisableSym turns off the symmetry reduction of the unified engine
+	// (see SerializeOptions.DisableSym). Differential-testing hook; not
+	// for production paths.
+	DisableSym bool
 }
 
 const defaultMaxNodes = 4_000_000
@@ -142,11 +146,12 @@ func check(h history.History, cfg Config, extraPreds [][2]history.TxID) (Result,
 		// ≺H of the original h, derived from spans inside the searcher
 		// (Definition 1 preserves the real-time order of H, not of the
 		// completion).
-		RealTime: h,
-		Objects:  cfg.Objects,
-		MaxNodes: maxNodes,
-		Nodes:    &res.Nodes,
-		Context:  cfg.Context,
+		RealTime:   h,
+		Objects:    cfg.Objects,
+		MaxNodes:   maxNodes,
+		Nodes:      &res.Nodes,
+		Context:    cfg.Context,
+		DisableSym: cfg.DisableSym,
 	})
 	if err != nil {
 		return res, err

@@ -91,6 +91,12 @@ type SerializeOptions struct {
 	// differentially tested against and should not be set on production
 	// paths.
 	DisableMemo bool
+	// DisableSym turns off the symmetry reduction: every transaction is
+	// its own class and interchangeable placements are all explored.
+	// Differential-testing hook for isolating the reduction (the memo
+	// problem signature carries the class map, so reduced and unreduced
+	// searches never share memo entries); not for production paths.
+	DisableSym bool
 
 	// enumerate switches the searcher from witness finding to
 	// reachable-final-state enumeration (see enumerateFinals). It scopes
@@ -148,13 +154,48 @@ type searcher struct {
 	fate    []bool // chosen fate per placed transaction (branch txs)
 	preds   []bitset
 	foot    []bitset // per-transaction object footprint (bit per object)
-	words   []uint64 // shared backing store of preds, foot and placed
+	words   []uint64 // shared backing store of preds, foot, succ and placed
 	spans   []int    // scratch: first/last event index per transaction
 	compl   []bool   // scratch: completed flag per transaction
 	placed  bitset
 	order   []history.TxID
 	init    stateID
 	problem int32
+
+	// classPrev implements the symmetry reduction: classPrev[i] is the
+	// index of the previous member of i's symmetry class (-1 when i is
+	// the canonical, lowest-index member). Two transactions are in one
+	// class when they are fully interchangeable: identical replay
+	// signature (hence identical footprint and legality behavior from any
+	// state), identical commit decision, and identical constraint
+	// position (equal predecessor and successor bitsets — which also
+	// rules out any ordering constraint between the two). The search only
+	// places a member once its classPrev is placed, so each class is
+	// placed in increasing index order; see symmetry.go for why pruning
+	// the other interleavings never loses a witness or a reachable final
+	// state.
+	classPrev []int32
+	succ      []bitset // scratch: per-transaction successor bitsets
+
+	// The incremental legality watch: legality of candidate i depends
+	// only on the current states of the objects in foot[i], so a computed
+	// verdict stays valid until one of those objects changes. ver is the
+	// per-call version clock, bumped on every state change — placements
+	// of state-changing transactions and their backtracks alike — and
+	// objVer[o] records the clock at object o's last possible change.
+	// legalVal[i]/legalVer[i] cache candidate i's last verdict and the
+	// clock it was computed at; the cached verdict is fresh while no
+	// watched object's version exceeds it. Only illegal verdicts are
+	// consumed from the cache (a legal placement still needs the
+	// successor state from the transition cache), which is exactly the
+	// hot case: an illegal candidate is re-scanned at every node of the
+	// enclosing subtree, and the watch answers those scans with an array
+	// probe instead of a transition-cache probe (or a replay, at states
+	// the cache has never seen).
+	ver      int32
+	objVer   []int32
+	legalVal []bool
+	legalVer []int32
 
 	maxNodes int
 	nodes    *int
@@ -232,13 +273,14 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 		s.decide[i] = o.Decide(tx)
 	}
 
-	// preds, foot and placed share one zeroed word block.
+	// preds, foot, succ and placed share one zeroed word block.
 	tw := (n + 63) / 64
 	ow := (len(ctx.objs) + 63) / 64
-	s.words = grow(s.words, n*tw+n*ow+tw)
+	s.words = grow(s.words, 2*n*tw+n*ow+tw)
 	clear(s.words)
 	s.preds = grow(s.preds, n)
 	s.foot = grow(s.foot, n)
+	s.succ = grow(s.succ, n)
 	off := 0
 	for i := 0; i < n; i++ {
 		s.preds[i] = bitset(s.words[off : off+tw])
@@ -252,6 +294,10 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 				s.foot[i].set(int(ctx.objIdx[e.Obj]))
 			}
 		}
+	}
+	for i := 0; i < n; i++ {
+		s.succ[i] = bitset(s.words[off : off+tw])
+		off += tw
 	}
 	s.placed = bitset(s.words[off : off+tw])
 
@@ -274,6 +320,19 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 		s.order = s.order[:0]
 	}
 
+	s.computeClasses(o.DisableSym)
+
+	// The legality watch starts every call cold: version clock at zero,
+	// every object version at zero, every cached verdict invalid.
+	s.ver = 0
+	s.objVer = grow(s.objVer, len(ctx.objs))
+	clear(s.objVer)
+	s.legalVal = grow(s.legalVal, n)
+	s.legalVer = grow(s.legalVer, n)
+	for i := range s.legalVer {
+		s.legalVer[i] = -1
+	}
+
 	// A nil Objects map reads like an empty one, so no defaulting
 	// allocation is needed.
 	s.init = ctx.initialState(o.Objects)
@@ -289,7 +348,7 @@ func (s *searcher) setup(ctx *SearchContext, o SerializeOptions, maxNodes int, n
 			salt = ctx.enumEpoch
 		}
 	}
-	s.problem = ctx.problemOf(kind, salt, s.init, s.sigs, s.decide, s.preds)
+	s.problem = ctx.problemOf(kind, salt, s.init, s.sigs, s.decide, s.preds, s.classPrev)
 }
 
 // addSpanPreds sets the predecessor bits induced by the real-time order,
@@ -468,10 +527,11 @@ func (s *searcher) search(placed bitset, count int, vid stateID, last int) outco
 		return outFailed
 	}
 	for i := 0; i < s.n; i++ {
-		if placed.has(i) || !placed.covers(s.preds[i]) || s.prunable(i, last) {
+		if placed.has(i) || !placed.covers(s.preds[i]) ||
+			s.prunable(i, last) || s.symBlocked(i, placed) {
 			continue
 		}
-		next, legal := s.ctx.step(vid, s.sigs[i], s.execs[i])
+		next, legal := s.stepCand(i, vid)
 		if !legal {
 			continue
 		}
@@ -481,7 +541,7 @@ func (s *searcher) search(placed bitset, count int, vid stateID, last int) outco
 		switch s.decide[i] {
 		case DecideCommitted:
 			s.fate[i] = true
-			out = s.search(placed, count+1, next, i)
+			out = s.searchCommitted(placed, count, vid, next, i)
 		case DecideAborted:
 			s.fate[i] = false
 			out = s.search(placed, count+1, vid, i)
@@ -493,7 +553,7 @@ func (s *searcher) search(placed bitset, count int, vid stateID, last int) outco
 			out = s.search(placed, count+1, vid, i)
 			if out == outFailed {
 				s.fate[i] = true
-				out = s.search(placed, count+1, next, i)
+				out = s.searchCommitted(placed, count, vid, next, i)
 			}
 		}
 		if out == outFound {
@@ -509,6 +569,21 @@ func (s *searcher) search(placed bitset, count int, vid stateID, last int) outco
 	}
 	s.ctx.memoInsert(s.problem, placed, last, vid)
 	return outFailed
+}
+
+// searchCommitted recurses below the committed placement of transaction
+// i, keeping the legality watch honest: when the placement actually
+// changes the object states (next != vid), i's footprint objects are
+// stamped before descending and again after returning, since the
+// backtrack reverts them (see legality.go).
+func (s *searcher) searchCommitted(placed bitset, count int, vid, next stateID, i int) outcome {
+	if next == vid {
+		return s.search(placed, count+1, vid, i)
+	}
+	s.touch(i)
+	out := s.search(placed, count+1, next, i)
+	s.touch(i)
+	return out
 }
 
 // FindSerialization searches for an order of o.Txs such that every
@@ -590,10 +665,11 @@ func (s *searcher) enumerate(placed bitset, count int, vid stateID, last int, si
 		return outFailed
 	}
 	for i := 0; i < s.n; i++ {
-		if placed.has(i) || !placed.covers(s.preds[i]) || s.prunable(i, last) {
+		if placed.has(i) || !placed.covers(s.preds[i]) ||
+			s.prunable(i, last) || s.symBlocked(i, placed) {
 			continue
 		}
-		next, legal := s.ctx.step(vid, s.sigs[i], s.execs[i])
+		next, legal := s.stepCand(i, vid)
 		if !legal {
 			continue
 		}
@@ -603,7 +679,14 @@ func (s *searcher) enumerate(placed bitset, count int, vid stateID, last int, si
 			next = vid
 		}
 		placed.set(i)
-		out := s.enumerate(placed, count+1, next, i, sink)
+		var out outcome
+		if next != vid {
+			s.touch(i)
+			out = s.enumerate(placed, count+1, next, i, sink)
+			s.touch(i)
+		} else {
+			out = s.enumerate(placed, count+1, vid, i, sink)
+		}
 		placed.clear(i)
 		if out == outTruncated {
 			return outTruncated

@@ -44,6 +44,20 @@ type Config struct {
 	// WithInit prepends the committed initializing transaction T0
 	// writing the initial value 0 to every register.
 	WithInit bool
+	// Clones switches to the symmetric-workload generator: each of the
+	// Txs transaction templates is emitted Clones times (default 1 — the
+	// plain generator). The clones of one template are fully
+	// interchangeable: identical operation sequences — objects, argument
+	// and return values included — identical fates, and pairwise
+	// concurrent spans (every instance's events are round-robin
+	// interleaved before any instance completes, so the real-time order
+	// constrains nothing). Such corpora exercise the search engine's
+	// symmetry classes maximally. Note that clones of a writing template
+	// deliberately repeat each other's written values, so unlike the
+	// plain generator's output these histories violate the unique-writes
+	// assumption of the graph characterization (internal/opg); they are
+	// inputs for the Definition 1 engines only.
+	Clones int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.PLeaveLive == 0 {
 		c.PLeaveLive = 0.15
 	}
+	if c.Clones == 0 {
+		c.Clones = 1
+	}
 	return c
 }
 
@@ -83,6 +100,9 @@ func suffix(i int) string {
 // seed.
 func History(cfg Config, seed int64) history.History {
 	cfg = cfg.withDefaults()
+	if cfg.Clones > 1 {
+		return cloneHistory(cfg, seed)
+	}
 	rng := rand.New(rand.NewSource(seed))
 
 	type txState struct {

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"otm/internal/history"
+)
+
+// Spec is a checked-in corpus specification: the generator Config plus
+// the corpus extent, in the JSON shape of testdata/corpora/*.json. A
+// spec pins a benchmark corpus in the repository so benches, CI
+// assertions and command-line reproduction (histgen's flags map onto the
+// same fields) all derive the identical deterministic corpus.
+type Spec struct {
+	Txs        int     `json:"txs"`
+	Objs       int     `json:"objs"`
+	MaxOps     int     `json:"maxOps"`
+	PCommit    float64 `json:"pCommit,omitempty"`
+	PStaleRead float64 `json:"pStaleRead"`
+	PLeaveLive float64 `json:"pLeaveLive,omitempty"`
+	WithInit   bool    `json:"withInit,omitempty"`
+	Clones     int     `json:"clones,omitempty"`
+	N          int     `json:"n"`
+	Base       int64   `json:"base"`
+}
+
+// LoadSpec reads and validates one corpus spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("gen: corpus spec %s: %w", path, err)
+	}
+	if s.N <= 0 {
+		return Spec{}, fmt.Errorf("gen: corpus spec %s: n must be positive", path)
+	}
+	return s, nil
+}
+
+// Config returns the generator configuration of the spec.
+func (s Spec) Config() Config {
+	return Config{
+		Txs:        s.Txs,
+		Objs:       s.Objs,
+		MaxOps:     s.MaxOps,
+		PCommit:    s.PCommit,
+		PStaleRead: s.PStaleRead,
+		PLeaveLive: s.PLeaveLive,
+		WithInit:   s.WithInit,
+		Clones:     s.Clones,
+	}
+}
+
+// Corpus materializes the spec's corpus.
+func (s Spec) Corpus() []history.History {
+	return Corpus(s.Config(), s.N, s.Base)
+}

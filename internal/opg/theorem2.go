@@ -2,6 +2,7 @@ package opg
 
 import (
 	"fmt"
+	"math/bits"
 
 	"otm/internal/core"
 	"otm/internal/history"
@@ -23,16 +24,13 @@ type Theorem2Result struct {
 	Graph *Graph
 }
 
-// maxTheorem2Txs bounds the permutation search (n! growth).
-const maxTheorem2Txs = 9
-
 // Theorem2Config tunes the Theorem 2 search. It mirrors the budget
-// plumbing of core.Config: MaxNodes bounds the number of candidate
-// opacity graphs built (0 = the same 4,000,000 default as the
-// definitional checker), exhaustion reports core.ErrSearchLimit, and a
-// non-nil Nodes accumulates the count across calls — so batch drivers
-// can meter the graph characterization exactly like the Definition 1
-// search.
+// plumbing of core.Config: MaxNodes bounds the search (0 = the same
+// 4,000,000 default as the definitional checker; one node is charged per
+// V subset considered and per attempted placement of a transaction into
+// the order ≪), exhaustion reports core.ErrSearchLimit, and a non-nil
+// Nodes accumulates the count across calls — so batch drivers can meter
+// the graph characterization exactly like the Definition 1 search.
 type Theorem2Config struct {
 	MaxNodes int
 	Nodes    *int
@@ -43,18 +41,39 @@ type Theorem2Config struct {
 // and a subset V of its commit-pending transactions such that
 // OPG(nonlocal(h), ≪, V) is well-formed and acyclic.
 //
-// The search enumerates subsets V and total orders ≪ exhaustively, with
-// one prune: the Lrt and Lrf edges and the well-formedness condition do
-// not depend on ≪, so a V whose base graph is ill-formed or already
-// cyclic skips the permutation loop entirely. Exhaustive enumeration is
-// factorial in the number of transactions; CheckTheorem2 refuses
-// histories with more than 9 transactions. The point of this function is
-// cross-validation of the definitional checker (internal/core) and the
-// production of explicit graph witnesses/counterexamples, not bulk
-// checking.
+// The search enumerates subsets V exhaustively. For each V the order ≪
+// is built one transaction at a time with incremental cycle detection
+// instead of enumerating the n! permutations: the OPG edge set
+// decomposes into a ≪-independent base (Lrt and Lrf) and conditional
+// edges guarded by a single precedence each — an Lrw edge Ti→Tk is
+// present iff Ti ≪ Tk, and an Lww edge Ti→Tk iff Ti ≪ Tm for its
+// mediating reader Tm — so extending a prefix of ≪ by T activates
+// exactly the edges whose guard T≪· just became true, and the edge set
+// grows monotonically along every branch of the search. A prefix whose
+// active edges already contain a cycle can therefore be pruned
+// immediately, and since every new edge of one extension shares the
+// source T, one reachability pass (can any new target reach T?) decides
+// the cycle check. A full prefix has exactly the edges of
+// OPG(nonlocal(h), ≪, V) and was verified acyclic at every step, so it
+// is a witness.
+//
+// The ≪-independent parts are still pruned per V before any ordering
+// work: an ill-formed base (an Lrf edge out of an Lloc vertex) or a
+// cycle among the Lrt/Lrf edges alone rules out every order. The search
+// is budget-bounded (see Theorem2Config) rather than capped by
+// transaction count: the worst case remains exponential — the
+// characterization is NP-complete in general — but cycle pruning
+// decides realistic histories far from the n! bound the permutation
+// enumeration paid. The point of this function is cross-validation of
+// the definitional checker (internal/core) and the production of
+// explicit graph witnesses/counterexamples, not bulk checking.
 func CheckTheorem2(h history.History) (Theorem2Result, error) {
 	return CheckTheorem2Budget(h, Theorem2Config{})
 }
+
+// t2cond is one Rule 4 (Lww) conditional edge: if its source Ti is
+// visible and Ti ≪ m, the edge Ti→k is in the graph.
+type t2cond struct{ m, k int32 }
 
 // CheckTheorem2Budget is CheckTheorem2 under an explicit search budget;
 // see Theorem2Config.
@@ -89,9 +108,6 @@ func CheckTheorem2Budget(h history.History, cfg Theorem2Config) (Theorem2Result,
 	nl := Nonlocal(h)
 	txs := nl.Transactions()
 	n := len(txs)
-	if n > maxTheorem2Txs {
-		return res, fmt.Errorf("opg: %d transactions exceed the Theorem 2 search bound of %d", n, maxTheorem2Txs)
-	}
 	if n == 0 {
 		res.Opaque = true
 		res.Graph = newGraph(nil)
@@ -103,6 +119,141 @@ func CheckTheorem2Budget(h history.History, cfg Theorem2Config) (Theorem2Result,
 		return res, fmt.Errorf("opg: too many commit-pending transactions (%d)", len(cps))
 	}
 
+	idx := make(map[history.TxID]int, n)
+	for i, tx := range txs {
+		idx[tx] = i
+	}
+
+	// Everything ≪- and V-independent is derived once, as index-based
+	// edge data over nonlocal(h) — the same relations Build evaluates,
+	// reshaped for incremental activation (see Build for the rules).
+	writers := writersOf(nl)
+	readsVals := make([][]history.OpExec, n)
+	writesTo := make([]map[history.ObjID]bool, n)
+	for i, tx := range txs {
+		for _, e := range nl.OpExecs(tx) {
+			switch {
+			case e.Op == "read" && !e.Pending:
+				readsVals[i] = append(readsVals[i], e)
+			case e.Op == "write":
+				if writesTo[i] == nil {
+					writesTo[i] = make(map[history.ObjID]bool)
+				}
+				writesTo[i][e.Obj] = true
+			}
+		}
+	}
+	type rf struct {
+		writer int
+		reg    history.ObjID
+	}
+	readsFrom := make([][]rf, n)
+	for k := range txs {
+		for _, e := range readsVals[k] {
+			if w, ok := writers[writeKey{e.Obj, e.Ret}]; ok {
+				readsFrom[k] = append(readsFrom[k], rf{idx[w], e.Obj})
+			}
+		}
+	}
+
+	w := (n + 63) / 64
+	// Base edges: Rule 1 (Lrt) and Rule 2 (Lrf) do not depend on ≪ or V.
+	base := make([]uint64, n*w)
+	row := func(adj []uint64, i int) []uint64 { return adj[i*w : (i+1)*w] }
+	for _, p := range nl.RealTimeOrder() {
+		row(base, idx[p[0]])[idx[p[1]]>>6] |= 1 << uint(idx[p[1]]&63)
+	}
+	// lrfSrc marks transactions with an outgoing Lrf edge: the graph is
+	// well-formed iff every one of them is visible, the only V-dependent
+	// precondition.
+	lrfSrc := make([]bool, n)
+	for k := 0; k < n; k++ {
+		for _, r := range readsFrom[k] {
+			if r.writer != k {
+				row(base, r.writer)[k>>6] |= 1 << uint(k&63)
+				lrfSrc[r.writer] = true
+			}
+		}
+	}
+	// Rule 3 (Lrw) conditionals: rw[i] has bit k set when Ti reads a
+	// register Tk writes — the edge Ti→Tk is in the graph iff Ti ≪ Tk.
+	rw := make([]uint64, n*w)
+	for i := 0; i < n; i++ {
+		for _, e := range readsVals[i] {
+			for k := 0; k < n; k++ {
+				if k != i && writesTo[k][e.Obj] {
+					row(rw, i)[k>>6] |= 1 << uint(k&63)
+				}
+			}
+		}
+	}
+	// Rule 4 (Lww) conditionals: for visible Ti with Ti ≪ Tm where Tm
+	// reads register r from Tk ≠ Ti and Ti writes r, the edge Ti→Tk is
+	// in the graph. Guarded by Ti ≪ Tm, so activation at Ti's placement
+	// applies to the still-unplaced mediators Tm.
+	ww := make([][]t2cond, n)
+	for i := 0; i < n; i++ {
+		if writesTo[i] == nil {
+			continue
+		}
+		for m := 0; m < n; m++ {
+			if m == i {
+				continue
+			}
+			for _, r := range readsFrom[m] {
+				if r.writer != i && writesTo[i][r.reg] {
+					ww[i] = append(ww[i], t2cond{m: int32(m), k: int32(r.writer)})
+				}
+			}
+		}
+	}
+
+	// Per-V scratch, reused across subsets.
+	vis := make([]bool, n)
+	adj := make([]uint64, n*w)
+	placed := make([]uint64, w)
+	color := make([]int8, n)
+	seen := make([]uint64, w)
+	var stack []int
+	order := make([]int, 0, n)
+	// One activation buffer per search depth: a level's added-edge mask
+	// must survive the recursion below it to undo exactly those bits.
+	addBuf := make([]uint64, n*w)
+
+	// reaches reports whether any member of the from mask can reach
+	// target through the currently active edges.
+	reaches := func(from []uint64, target int) bool {
+		clear(seen)
+		stack = stack[:0]
+		for wi, word := range from {
+			seen[wi] = word
+			for word != 0 {
+				stack = append(stack, wi<<6+bits.TrailingZeros64(word))
+				word &= word - 1
+			}
+		}
+		if seen[target>>6]&(1<<uint(target&63)) != 0 {
+			return true
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for wi, word := range row(adj, v) {
+				word &^= seen[wi]
+				seen[wi] |= word
+				for word != 0 {
+					u := wi<<6 + bits.TrailingZeros64(word)
+					if u == target {
+						return true
+					}
+					stack = append(stack, u)
+					word &= word - 1
+				}
+			}
+		}
+		return false
+	}
+
 	for mask := 0; mask < 1<<uint(len(cps)); mask++ {
 		var V []history.TxID
 		for i, tx := range cps {
@@ -110,57 +261,111 @@ func CheckTheorem2Budget(h history.History, cfg Theorem2Config) (Theorem2Result,
 				V = append(V, tx)
 			}
 		}
-		// Prune on the ≪-independent part: vertex labels and the Lrt/Lrf
-		// edges are fixed given V, so an ill-formed graph (an Lrf edge
-		// out of an Lloc vertex) or a cycle among Lrt/Lrf edges alone
-		// rules out every order ≪ for this V.
 		if *nodes >= maxNodes {
 			return res, fmt.Errorf("theorem 2 search: %w", core.ErrSearchLimit)
 		}
 		*nodes++
-		base, err := Build(h, txs, V)
-		if err != nil {
-			return res, err
+
+		inV := make(map[history.TxID]bool, len(V))
+		for _, tx := range V {
+			inV[tx] = true
 		}
-		if !base.WellFormed() {
+		wellFormed := true
+		for i, tx := range txs {
+			vis[i] = inV[tx] || h.Committed(tx)
+			if lrfSrc[i] && !vis[i] {
+				wellFormed = false
+			}
+		}
+		// Prune on the ≪-independent part: an Lrf edge out of an Lloc
+		// vertex, or a cycle among the Lrt/Lrf edges alone, rules out
+		// every order ≪ for this V.
+		if !wellFormed {
 			continue
 		}
-		rtrf := newGraph(txs)
-		for key, labels := range base.Edges {
-			if labels[Lrt] {
-				rtrf.addEdge(key[0], key[1], Lrt)
-			}
-			if labels[Lrf] {
-				rtrf.addEdge(key[0], key[1], Lrf)
-			}
-		}
-		if !rtrf.Acyclic() {
+		copy(adj, base)
+		if cyclic(adj, w, color) {
 			continue
 		}
 
-		found := false
+		// Incrementally build ≪. Placing t activates the conditional
+		// edges whose guard t≪· just became true: its Rule 3 partners
+		// still unplaced, and the Rule 4 edges whose mediator is still
+		// unplaced. All activated edges leave t, so the active graph —
+		// acyclic by induction — gains a cycle iff some new target
+		// reaches t, one reachability pass per attempted placement. Every
+		// guard involving two placed transactions was settled when the
+		// earlier one was placed, so along any branch the active set is
+		// exactly the final edge set restricted to settled guards, and a
+		// complete prefix is a witness.
+		clear(placed)
+		order = order[:0]
 		exhausted := false
-		permute(txs, func(order []history.TxID) bool {
-			if *nodes >= maxNodes {
-				exhausted = true
-				return false
+		var extend func(count int) bool
+		extend = func(count int) bool {
+			if count == n {
+				return true
 			}
-			*nodes++
-			g, err := Build(h, order, V)
+			add := row(addBuf, count)
+			for t := 0; t < n; t++ {
+				if placed[t>>6]&(1<<uint(t&63)) != 0 {
+					continue
+				}
+				if *nodes >= maxNodes {
+					exhausted = true
+					return false
+				}
+				*nodes++
+				clear(add)
+				for wi, word := range row(rw, t) {
+					add[wi] |= word &^ placed[wi]
+				}
+				if vis[t] {
+					for _, c := range ww[t] {
+						if placed[c.m>>6]&(1<<uint(c.m&63)) == 0 {
+							add[c.k>>6] |= 1 << uint(c.k&63)
+						}
+					}
+				}
+				r := row(adj, t)
+				for wi := range add {
+					add[wi] &^= r[wi] // already active: nothing to re-check
+				}
+				if reaches(add, t) {
+					continue // placing t here closes a cycle on every completion
+				}
+				for wi := range add {
+					r[wi] |= add[wi]
+				}
+				placed[t>>6] |= 1 << uint(t&63)
+				order = append(order, t)
+				if extend(count + 1) {
+					return true
+				}
+				order = order[:len(order)-1]
+				placed[t>>6] &^= 1 << uint(t&63)
+				for wi := range add {
+					r[wi] &^= add[wi]
+				}
+				if exhausted {
+					return false
+				}
+			}
+			return false
+		}
+		if extend(0) {
+			orderTxs := make([]history.TxID, n)
+			for i, t := range order {
+				orderTxs[i] = txs[t]
+			}
+			g, err := Build(h, orderTxs, V)
 			if err != nil {
-				return true // impossible: inputs validated above
+				return res, err // impossible: inputs validated above
 			}
-			if g.WellFormed() && g.Acyclic() {
-				res.Opaque = true
-				res.Order = append([]history.TxID(nil), order...)
-				res.V = V
-				res.Graph = g
-				found = true
-				return false
-			}
-			return true
-		})
-		if found {
+			res.Opaque = true
+			res.Order = orderTxs
+			res.V = V
+			res.Graph = g
 			return res, nil
 		}
 		if exhausted {
@@ -170,24 +375,50 @@ func CheckTheorem2Budget(h history.History, cfg Theorem2Config) (Theorem2Result,
 	return res, nil
 }
 
-// permute enumerates permutations of txs, invoking fn on each; fn
-// returning false stops the enumeration. The slice passed to fn is reused
-// between calls.
-func permute(txs []history.TxID, fn func([]history.TxID) bool) {
-	perm := append([]history.TxID(nil), txs...)
-	var rec func(k int) bool
-	rec = func(k int) bool {
-		if k == len(perm) {
-			return fn(perm)
-		}
-		for i := k; i < len(perm); i++ {
-			perm[k], perm[i] = perm[i], perm[k]
-			if !rec(k + 1) {
-				return false
-			}
-			perm[k], perm[i] = perm[i], perm[k]
-		}
-		return true
+// cyclic reports whether the adjacency masks contain a directed cycle,
+// by iterative three-color DFS. color is caller-provided scratch of n
+// entries.
+func cyclic(adj []uint64, w int, color []int8) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	n := len(color)
+	clear(color)
+	type frame struct {
+		v    int
+		wi   int
+		word uint64
 	}
-	rec(0)
+	var stack []frame
+	for s := 0; s < n; s++ {
+		if color[s] != white {
+			continue
+		}
+		color[s] = gray
+		stack = append(stack[:0], frame{v: s, wi: 0, word: adj[s*w]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.word == 0 {
+				if f.wi++; f.wi < w {
+					f.word = adj[f.v*w+f.wi]
+					continue
+				}
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			u := f.wi<<6 + bits.TrailingZeros64(f.word)
+			f.word &= f.word - 1
+			switch color[u] {
+			case gray:
+				return true
+			case white:
+				color[u] = gray
+				stack = append(stack, frame{v: u, wi: 0, word: adj[u*w]})
+			}
+		}
+	}
+	return false
 }

@@ -2,6 +2,7 @@ package opg
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"otm/internal/core"
@@ -40,6 +41,79 @@ func TestTheorem2Budget(t *testing.T) {
 	}
 	if nodes == 0 {
 		t.Error("Nodes counter did not accumulate")
+	}
+}
+
+// TestTheorem2BeyondOldFactorialCap: the incremental-cycle search
+// decides 12-transaction histories the old factorial permutation engine
+// refused outright (it was capped at 9 transactions because it built up
+// to n! candidate graphs per V; 12! ≈ 4.8×10⁸ would also have blown the
+// default node budget). Both verdicts are cross-checked against the
+// Definition 1 engine.
+func TestTheorem2BeyondOldFactorialCap(t *testing.T) {
+	// T0 (init) plus a sequential committed chain T1..T10 on x, each
+	// reading its predecessor's value, plus a commit-pending reader T11 —
+	// 12 transactions, opaque, with V-subset branching exercised.
+	chain := ""
+	for i := 1; i <= 10; i++ {
+		chain += fmt.Sprintf("r%d(x)->%d w%d(x,%d) tryC%d C%d ", i, i-1, i, i, i, i)
+	}
+	opaque := WithInit(history.MustParse(chain+"r11(x)->10 tryC11"), 0)
+	if n := len(opaque.Transactions()); n != 12 {
+		t.Fatalf("got %d transactions, want 12", n)
+	}
+
+	var nodes int
+	res, err := CheckTheorem2Budget(opaque, Theorem2Config{Nodes: &nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatal("12-transaction sequential chain must be opaque")
+	}
+	if res.Graph == nil || !res.Graph.WellFormed() || !res.Graph.Acyclic() {
+		t.Error("witness graph must be well-formed and acyclic")
+	}
+	if len(res.Order) != len(Nonlocal(opaque).Transactions()) {
+		t.Errorf("witness order %v does not cover the nonlocal transactions", res.Order)
+	}
+	// The incremental search must get nowhere near the factorial regime:
+	// a sequential chain is decided in roughly quadratically many
+	// placement attempts.
+	if nodes > 10_000 {
+		t.Errorf("nodes=%d, want far below the factorial regime", nodes)
+	}
+	dRes, err := core.Check(opaque, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dRes.Opaque {
+		t.Error("Definition 1 disagrees: not opaque")
+	}
+
+	// Same chain with a committed stale reader: T11 reads the long-dead
+	// x=3 after T10 committed, so every order closes a cycle (e.g.
+	// Lrt T3→T4 against the Lww edge T4→T3 its visibility forces once
+	// T4 ≪ T11 is settled). 12 transactions, non-opaque.
+	nodes = 0
+	stale := WithInit(history.MustParse(chain+"r11(x)->3 tryC11 C11"), 0)
+	res, err = CheckTheorem2Budget(stale, Theorem2Config{Nodes: &nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque || !res.Consistent {
+		t.Errorf("stale 12-transaction chain: opaque=%v consistent=%v, want consistent non-opaque",
+			res.Opaque, res.Consistent)
+	}
+	if nodes > 100_000 {
+		t.Errorf("refutation took %d nodes, want cycle pruning to stay far below the factorial regime", nodes)
+	}
+	dRes, err = core.Check(stale, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dRes.Opaque {
+		t.Error("Definition 1 disagrees: opaque")
 	}
 }
 
