@@ -6,6 +6,13 @@
 //
 //	opacheck [-counter obj] [-graph] [-demo name] [history...]
 //	opacheck -parallel N [-shared] [-counter obj] [-maxnodes B] [file...]
+//	opacheck -replay URI
+//
+// -replay re-checks a violation artifact captured by the monitoring
+// control plane (`otmd monitor -artifacts ...`): it decodes the
+// artifact, re-derives the verdict with a fresh offline diagnosis and
+// exits 0 only if verdict, violation position and culprit set all match
+// the capture.
 //
 // Histories are given as arguments or read from stdin (one per line; see
 // internal/history.Parse for the grammar), e.g.:
@@ -80,6 +87,7 @@ import (
 	"syscall"
 
 	"otm/internal/checkpool"
+	"otm/internal/controlplane"
 	"otm/internal/core"
 	"otm/internal/criteria"
 	"otm/internal/history"
@@ -111,6 +119,7 @@ func run() int {
 	reference := flag.Bool("reference", false, "batch mode: use the per-completion reference engine instead of the unified search (for node-count comparisons)")
 	shared := flag.Bool("shared", false, "batch mode: share one pool-wide set of search tables across all workers (default: one private table set per worker)")
 	verdicts := flag.String("verdicts", "", "batch mode: write the verdict stream to this storage URI (file:// or mem://) instead of stdout, committed atomically")
+	replay := flag.String("replay", "", "re-check a violation artifact captured by the monitoring control plane (a path or storage URI) and confirm its verdict offline")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
@@ -152,6 +161,13 @@ func run() int {
 	if *shared && *reference {
 		fmt.Fprintln(os.Stderr, "opacheck: -shared is incompatible with -reference (the reference engine uses no search context)")
 		return 2
+	}
+	if *replay != "" {
+		if *parallel > 0 || *graph || *explain || *demo != "" {
+			fmt.Fprintln(os.Stderr, "opacheck: -replay is incompatible with -parallel, -graph, -explain and -demo")
+			return 2
+		}
+		return runReplay(*replay, *counterObjs, *maxNodes)
 	}
 	if *parallel > 0 {
 		if *graph || *explain || *demo != "" {
@@ -195,6 +211,66 @@ func run() int {
 		fmt.Println()
 	}
 	return exit
+}
+
+// runReplay is the -replay mode: decode a violation artifact captured
+// by the monitoring control plane and re-derive its verdict with a
+// fresh offline diagnosis — no state shared with the monitor that wrote
+// it. Exit status: 0 when the replay confirms both the non-opaque
+// verdict (at the recorded prefix length) and the culprit set, 1 on any
+// mismatch, a non-replayable artifact (the capturing session truncated
+// before the violation) or an error.
+func runReplay(uri, counterObjs string, maxNodes int) int {
+	rc, err := storage.OpenURI(uri)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opacheck: -replay: %v\n", err)
+		return 1
+	}
+	defer rc.Close()
+	a, err := controlplane.ParseArtifact(rc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opacheck: -replay: %v\n", err)
+		return 1
+	}
+	fmt.Printf("artifact: session %s, prefix %d, event %s", a.Session, a.PrefixLen, a.Event)
+	if a.Diagnosed {
+		fmt.Printf(", culprits %s", txids(a.Culprits))
+	}
+	fmt.Println()
+	out, err := a.Replay(core.Config{
+		Objects:  counterObjects(counterObjs),
+		MaxNodes: maxNodes,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opacheck: -replay: %v\n", err)
+		return 1
+	}
+	d := out.Diagnosis
+	switch {
+	case d.Opaque:
+		fmt.Println("replay: opaque — MISMATCH (the monitor saw a violation, the offline checker does not)")
+	case !out.VerdictMatches:
+		fmt.Printf("replay: non-opaque at prefix %d — MISMATCH (artifact recorded prefix %d)\n", d.PrefixLen, a.PrefixLen)
+	default:
+		fmt.Printf("replay: non-opaque at prefix %d, culprits %s\n", d.PrefixLen, txids(d.Implicated))
+	}
+	if out.Confirmed() {
+		fmt.Println("CONFIRMED: the offline replay re-derives the captured verdict")
+		return 0
+	}
+	if out.VerdictMatches && !out.CulpritsMatch {
+		fmt.Printf("MISMATCH: culprit sets differ (capture %s, replay %s)\n", txids(a.Culprits), txids(d.Implicated))
+	}
+	return 1
+}
+
+// txids renders a transaction set in the T<n> form of verdict lines.
+func txids(txs []history.TxID) string {
+	parts := make([]string, len(txs))
+	for i, tx := range txs {
+		parts[i] = fmt.Sprintf("T%d", int(tx))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // counterObjects builds the object environment implied by the -counter

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"otm/internal/controlplane"
+	"otm/internal/history"
+	"otm/internal/monitor"
+	"otm/internal/storage"
+)
+
+// captureZombieArtifact runs the §2 zombie schedule through a monitor
+// session and returns the violation as an artifact.
+func captureZombieArtifact(t *testing.T) *controlplane.Artifact {
+	t.Helper()
+	var got *monitor.Violation
+	s := monitor.New(monitor.Options{OnViolation: func(v monitor.Violation) { got = &v }})
+	zombie := history.History{
+		history.Inv(1, "x", "read", nil), history.Ret(1, "x", "read", 0),
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", history.OK),
+		history.Inv(2, "y", "write", 1), history.Ret(2, "y", "write", history.OK),
+		history.TryC(2), history.Commit(2),
+		history.Inv(1, "y", "read", nil), history.Ret(1, "y", "read", 1),
+	}
+	for _, ev := range zombie {
+		s.Append(ev)
+	}
+	s.Close()
+	if got == nil {
+		t.Fatal("no violation captured")
+	}
+	return controlplane.NewArtifact("cli-test", *got)
+}
+
+func writeArtifact(t *testing.T, uri string, a *controlplane.Artifact) {
+	t.Helper()
+	w, err := storage.CreateURI(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(a.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplayConfirms(t *testing.T) {
+	a := captureZombieArtifact(t)
+	writeArtifact(t, "mem://opacheck-replay-test/ok.hist", a)
+	if code := runReplay("mem://opacheck-replay-test/ok.hist", "", 0); code != 0 {
+		t.Fatalf("exit %d, want 0 (confirmed)", code)
+	}
+}
+
+func TestRunReplayMismatch(t *testing.T) {
+	a := captureZombieArtifact(t)
+	a.PrefixLen-- // tamper: the recorded violation position is now wrong
+	writeArtifact(t, "mem://opacheck-replay-test/bad.hist", a)
+	if code := runReplay("mem://opacheck-replay-test/bad.hist", "", 0); code != 1 {
+		t.Fatalf("exit %d, want 1 (verdict mismatch)", code)
+	}
+}
+
+func TestRunReplayRefusesTruncated(t *testing.T) {
+	a := captureZombieArtifact(t)
+	a.Replayable = false
+	writeArtifact(t, "mem://opacheck-replay-test/trunc.hist", a)
+	if code := runReplay("mem://opacheck-replay-test/trunc.hist", "", 0); code != 1 {
+		t.Fatalf("exit %d, want 1 (not replayable)", code)
+	}
+}
+
+func TestRunReplayErrors(t *testing.T) {
+	if code := runReplay("mem://opacheck-replay-test/missing.hist", "", 0); code != 1 {
+		t.Errorf("missing artifact: exit %d, want 1", code)
+	}
+	w, err := storage.CreateURI("mem://opacheck-replay-test/garbage.hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("not an artifact\n"))
+	w.Close()
+	if code := runReplay("mem://opacheck-replay-test/garbage.hist", "", 0); code != 1 {
+		t.Errorf("garbage artifact: exit %d, want 1", code)
+	}
+}

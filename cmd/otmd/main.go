@@ -8,6 +8,10 @@
 //	otmd coordinate -store URI (-corpus FILE | -gen N [...]) [-listen ADDR] [-o FILE]
 //	otmd work -coordinator URL [-name ID] [-parallel W] [-shared]
 //	otmd run -workers N (-corpus FILE | -gen N [...]) [-shared] [-o FILE]
+//	otmd monitor [-sessions N] [-engine E] [-listen ADDR] [-artifacts URI] [-inject]
+//
+// `otmd monitor` is the online half: a fleet of monitored STM shards
+// with live telemetry and replayable violation capture — see monitor.go.
 //
 // # Coordinate
 //
@@ -78,6 +82,8 @@ func run(args []string) int {
 		return work(args[1:])
 	case "run":
 		return runLocal(args[1:])
+	case "monitor":
+		return monitorCmd(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -93,6 +99,7 @@ func usage() {
   otmd coordinate -store URI (-corpus FILE | -gen N [...]) [-listen ADDR] [-o FILE]
   otmd work -coordinator URL [-name ID] [-parallel W] [-shared]
   otmd run -workers N (-corpus FILE | -gen N [...]) [-shared] [-o FILE]
+  otmd monitor [-sessions N] [-engine E] [-listen ADDR] [-artifacts URI] [-inject] [...]
 `)
 }
 

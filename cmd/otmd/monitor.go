@@ -1,0 +1,222 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"otm/internal/bench"
+	"otm/internal/controlplane"
+	"otm/internal/monitor"
+	"otm/internal/stm"
+	"otm/internal/stm/gatm"
+)
+
+// monitorCmd is `otmd monitor`: the monitoring control plane as a
+// service. It runs a fleet of STM shards — each an engine instance under
+// a recorder-tapped opacity monitor — serves the aggregated fleet
+// telemetry on -listen (/metrics in Prometheus text format, /status as
+// JSON), and on a violation captures a replayable artifact into
+// -artifacts that `opacheck -replay` re-confirms offline.
+//
+// -inject adds one extra shard backed by gatm (global atomicity only,
+// not opaque) and drives the §2 zombie schedule through it: a
+// deterministic violation for smoke tests and demos. The injected
+// shard's session never truncates, so its artifact is always
+// replayable.
+//
+// Exit status: 0 when the fleet closes opaque, 1 when it closes
+// violated, lossy or errored (or startup fails), 2 on usage errors.
+func monitorCmd(args []string) int {
+	fs := flag.NewFlagSet("otmd monitor", flag.ExitOnError)
+	sessions := fs.Int("sessions", 4, "workload shards (one monitored engine instance each)")
+	engine := fs.String("engine", "tl2", "engine per shard (see tmbench: dstm, tl2, tl2x, vstm, mvstm, gatm, sistm)")
+	goroutines := fs.Int("g", 4, "goroutines per shard")
+	txPerG := fs.Int("tx", 500, "transactions per goroutine")
+	opsPerTx := fs.Int("ops", 8, "operations per transaction")
+	k := fs.Int("k", 4, "objects per shard")
+	readFrac := fs.Float64("read", 0.9, "fraction of operations that are reads")
+	modeName := fs.String("mode", "async", "monitor mode: sync or async")
+	buffer := fs.Int("buffer", 4096, "async queue capacity")
+	drop := fs.Bool("drop", false, "async backpressure policy: drop events instead of blocking")
+	stopAll := fs.Bool("stop-all", false, "stop the whole fleet on the first violation")
+	truncAfter := fs.Int("trunc-after", 128, "checkpointed truncation threshold in live events (0 = off)")
+	listen := fs.String("listen", "127.0.0.1:8099", "telemetry listen address (/metrics, /status)")
+	artifacts := fs.String("artifacts", "", "storage URI for violation artifacts (file:///dir or mem://name; empty = no capture)")
+	inject := fs.Bool("inject", false, "add a gatm shard and inject the §2 zombie schedule (deterministic violation)")
+	serveAfter := fs.Duration("serve-after", 0, "keep serving telemetry this long after the workload finishes")
+	fs.Parse(args)
+
+	var mode monitor.Mode
+	switch *modeName {
+	case "sync":
+		mode = monitor.Sync
+	case "async":
+		mode = monitor.Async
+	default:
+		fmt.Fprintf(os.Stderr, "otmd monitor: -mode must be sync or async, got %q\n", *modeName)
+		return 2
+	}
+	var eng *bench.Engine
+	for _, e := range bench.Engines() {
+		if e.Name == *engine {
+			eng = &e
+			break
+		}
+	}
+	if eng == nil {
+		fmt.Fprintf(os.Stderr, "otmd monitor: unknown engine %q\n", *engine)
+		return 2
+	}
+
+	mopts := monitor.Options{Mode: mode, Buffer: *buffer, TruncateAfterEvents: *truncAfter}
+	if *truncAfter > 0 {
+		// Continuous workloads rarely quiesce on their own; the barrier
+		// bounds the live suffix (and per-event cost) by stalling new
+		// transactions once the suffix is 4x overdue.
+		mopts.TruncateBarrier = 4 * *truncAfter
+	}
+	if *drop {
+		mopts.DropPolicy = monitor.Drop
+	}
+	policy := controlplane.StopOne
+	if *stopAll {
+		policy = controlplane.StopAll
+	}
+	fleet, err := controlplane.New(controlplane.Options{
+		Monitor:      mopts,
+		Stop:         policy,
+		ArtifactsURI: *artifacts,
+		OnViolation: func(session string, r controlplane.ViolationRecord) {
+			fmt.Fprintf(os.Stderr, "otmd: VIOLATION in %s at prefix %d (%s)", session, r.PrefixLen, r.Event)
+			if r.Diagnosed {
+				fmt.Fprintf(os.Stderr, ", culprits %v", r.Culprits)
+			}
+			if r.Artifact != "" {
+				fmt.Fprintf(os.Stderr, "; artifact %s", r.Artifact)
+			}
+			if r.CaptureErr != "" {
+				fmt.Fprintf(os.Stderr, "; CAPTURE FAILED: %s", r.CaptureErr)
+			}
+			fmt.Fprintln(os.Stderr)
+		},
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fail(err)
+	}
+	srv := &http.Server{Handler: fleet.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "otmd: monitoring %d %s shards on http://%s (mode %s, policy %s)\n",
+		*sessions, eng.Name, ln.Addr(), *modeName, policy)
+
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		rec := stm.NewRecorder(eng.New(*k))
+		m, err := fleet.Attach(fmt.Sprintf("shard-%d", i), rec)
+		if err != nil {
+			return fail(err)
+		}
+		for g := 0; g < *goroutines; g++ {
+			wg.Add(1)
+			go func(shard, g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(shard*1000 + g)))
+				val := shard*1_000_000 + g*10_000
+				for n := 0; n < *txPerG; n++ {
+					_ = stm.Atomically(rec, func(tx stm.Tx) error {
+						for o := 0; o < *opsPerTx; o++ {
+							obj := rng.Intn(*k)
+							if rng.Float64() < *readFrac {
+								if _, err := tx.Read(obj); err != nil {
+									return err
+								}
+							} else {
+								val++
+								if err := tx.Write(obj, val); err != nil {
+									return err
+								}
+							}
+						}
+						return nil
+					})
+				}
+			}(i, g)
+		}
+		_ = m
+	}
+	if *inject {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := injectZombie(fleet, mode, *buffer); err != nil {
+				fmt.Fprintf(os.Stderr, "otmd: inject: %v\n", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if *serveAfter > 0 {
+		fmt.Fprintf(os.Stderr, "otmd: workload done; serving telemetry for %s\n", *serveAfter)
+		time.Sleep(*serveAfter)
+	}
+	st := fleet.Close()
+	fmt.Fprintf(os.Stderr, "otmd: fleet closed: %d sessions, %d events (%d checked, %d dropped), %d checkpoints, %d violations, status %s\n",
+		st.Sessions, st.Events, st.Checked, st.Dropped, st.Checkpoints, st.Violations, st.FleetStatus)
+	if st.First != nil {
+		fmt.Fprintf(os.Stderr, "otmd: first violation: session %s, prefix %d, artifact %q\n",
+			st.First.Session, st.First.PrefixLen, st.First.Artifact)
+	}
+	if st.Fleet != monitor.StatusOpaque {
+		return 1
+	}
+	return 0
+}
+
+// injectZombie adds a gatm-backed member and replays the §2 schedule:
+// T1 reads r0, T2 commits r0=1 and r1=1, T1 reads r1 and observes the
+// new value against its stale snapshot — non-opaque at that read. The
+// member's session never truncates, so the captured artifact retains
+// the full prefix and replays offline.
+func injectZombie(fleet *controlplane.Fleet, mode monitor.Mode, buffer int) error {
+	rec := stm.NewRecorder(gatm.New(2))
+	m, err := fleet.AttachWith("inject", rec, monitor.Options{Mode: mode, Buffer: buffer})
+	if err != nil {
+		return err
+	}
+	t1 := rec.Begin()
+	if _, err := t1.Read(0); err != nil {
+		return fmt.Errorf("reader's first read aborted: %w", err)
+	}
+	t2 := rec.Begin()
+	if err := t2.Write(0, 1); err != nil {
+		return err
+	}
+	if err := t2.Write(1, 1); err != nil {
+		return err
+	}
+	if err := t2.Commit(); err != nil {
+		return err
+	}
+	if _, err := t1.Read(1); err != nil {
+		return fmt.Errorf("zombie read was refused (engine %s is stricter than expected): %w", "gatm", err)
+	}
+	_ = t1.Commit()
+	// An async session may still be draining; Close waits for the queue
+	// so the violation is latched before the workload barrier falls.
+	v := m.Close()
+	if v.Status != monitor.StatusViolated {
+		return fmt.Errorf("injected schedule closed %s, want a violation", v.Status)
+	}
+	return nil
+}

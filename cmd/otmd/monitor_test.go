@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"otm/internal/controlplane"
+	"otm/internal/core"
+	"otm/internal/storage"
+)
+
+// TestMonitorCmdInject is the control-plane e2e in process: run a small
+// fleet with an injected zombie, assert the violating exit status, then
+// re-check the captured artifact offline and require confirmation.
+func TestMonitorCmdInject(t *testing.T) {
+	code := monitorCmd([]string{
+		"-sessions", "1", "-g", "2", "-tx", "20",
+		"-listen", "127.0.0.1:0",
+		"-artifacts", "mem://otmd-monitor-inject-test",
+		"-inject",
+	})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (violated fleet)", code)
+	}
+	fsys, err := storage.Resolve("mem://otmd-monitor-inject-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := fsys.Open("violations/000-inject.hist")
+	if err != nil {
+		t.Fatalf("artifact not captured: %v", err)
+	}
+	defer rc.Close()
+	a, err := controlplane.ParseArtifact(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Session != "inject" || !a.Replayable {
+		t.Fatalf("artifact %+v", a)
+	}
+	out, err := a.Replay(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Confirmed() {
+		t.Fatalf("offline replay does not confirm the injected violation: %+v", out)
+	}
+}
+
+// TestMonitorCmdOpaque: a clean tl2 fleet exits 0.
+func TestMonitorCmdOpaque(t *testing.T) {
+	code := monitorCmd([]string{
+		"-sessions", "2", "-g", "2", "-tx", "10",
+		"-listen", "127.0.0.1:0",
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (opaque fleet)", code)
+	}
+}
+
+func TestMonitorCmdUsageErrors(t *testing.T) {
+	if code := monitorCmd([]string{"-mode", "bogus"}); code != 2 {
+		t.Errorf("bad -mode: exit %d, want 2", code)
+	}
+	if code := monitorCmd([]string{"-engine", "bogus"}); code != 2 {
+		t.Errorf("bad -engine: exit %d, want 2", code)
+	}
+}

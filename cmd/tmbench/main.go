@@ -19,12 +19,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
 
 	"otm/internal/bench"
 	"otm/internal/cm"
+	"otm/internal/controlplane"
 	"otm/internal/core"
 	"otm/internal/criteria"
 	"otm/internal/interleave"
@@ -44,14 +47,15 @@ func main() {
 	matrix := flag.Bool("matrix", false, "run the cross-engine behaviour matrix")
 	zombie := flag.Bool("zombie", false, "run the E7/E12 zombie demonstration")
 	monitored := flag.String("monitor", "", "run every engine × contention-manager × workload mix under a live opacity monitor: sync or async")
+	listen := flag.String("listen", "", "with -monitor: serve the fleet's /metrics and /status on this address while the matrix runs")
 	goroutines := flag.Int("g", 8, "goroutines for -throughput, -cm and -monitor")
-	txPerG := flag.Int("tx", 0, "transactions per goroutine (default 2000; 25 under -monitor, whose per-event cost grows with history length)")
+	txPerG := flag.Int("tx", 2000, "transactions per goroutine")
 	soak := flag.Bool("soak", false, "run a long monitored session and report the per-event latency / retained-state trajectory")
 	soakEvents := flag.Int("soak-events", 100000, "total events for -soak")
 	soakWindowN := flag.Int("soak-window", 5000, "reporting window for -soak, in events")
 	soakBurstN := flag.Int("soak-burst", 4, "concurrent transactions per burst for -soak")
 	soakObjs := flag.Int("soak-k", 8, "distinct objects for -soak")
-	truncAfter := flag.Int("trunc-after", 512, "checkpointed truncation threshold for -soak, in live events (0 = truncation off)")
+	truncAfter := flag.Int("trunc-after", 128, "checkpointed truncation threshold for -soak and -monitor, in live events (0 = truncation off)")
 	soakAssert := flag.Bool("soak-assert", false, "with -soak: exit nonzero unless latency and retained state stay flat")
 	flag.Parse()
 
@@ -77,15 +81,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tmbench: -monitor must be sync or async, got %q\n", *monitored)
 			os.Exit(2)
 		}
-		tx := *txPerG
-		if tx == 0 {
-			tx = 25
-		}
-		runMonitored(mode, *goroutines, tx)
+		runMonitored(mode, *goroutines, *txPerG, *truncAfter, *listen)
 		return
-	}
-	if *txPerG == 0 {
-		*txPerG = 2000
 	}
 
 	all := !*sweep && !*scan && !*throughput && !*zombie && !*cmAblation && !*matrix
@@ -166,12 +163,44 @@ func runCMAblation(g, txPerG int) {
 // recording and (for sync) checking overhead, so the table doubles as a
 // live-monitoring cost sheet; BenchmarkMonitorOverhead measures the
 // same decomposition under the testing harness.
-func runMonitored(mode monitor.Mode, g, txPerG int) {
+//
+// Every row's session is a member of one controlplane.Fleet, so the
+// matrix reports through the same telemetry counters the monitoring
+// control plane exports: -listen serves the fleet's /metrics and
+// /status while the matrix runs, and the closing fleet summary is the
+// aggregated Status. truncAfter bounds each session's live suffix
+// (checkpointed truncation), which is what keeps the default 2000
+// tx/goroutine workload flat-cost per event.
+func runMonitored(mode monitor.Mode, g, txPerG, truncAfter int, listen string) {
 	const k, opsPerTx = 2, 8
-	fmt.Printf("== live opacity monitoring (%s): k=%d, %d goroutines × %d tx, %d ops/tx ==\n",
-		mode, k, g, txPerG, opsPerTx)
+	mopts := monitor.Options{Mode: mode, TruncateAfterEvents: truncAfter}
+	if truncAfter > 0 {
+		// Throughput workloads never quiesce on their own; without the
+		// admission barrier the live suffix grows unboundedly and the
+		// per-event cost with it (see monitor.Options.TruncateBarrier).
+		mopts.TruncateBarrier = 4 * truncAfter
+	}
+	fleet, err := controlplane.New(controlplane.Options{Monitor: mopts})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+		os.Exit(1)
+	}
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: fleet.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tmbench: serving fleet metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	fmt.Printf("== live opacity monitoring (%s): k=%d, %d goroutines × %d tx, %d ops/tx, trunc-after=%d ==\n",
+		mode, k, g, txPerG, opsPerTx, truncAfter)
 	w := newTab()
-	fmt.Fprintln(w, "engine\tmanager\tmix\tcommits/s\tabort rate\tevents\tchecked\tnodes\tfast\tverdict")
+	fmt.Fprintln(w, "engine\tmanager\tmix\tcommits/s\tabort rate\tevents\tchecked\tnodes\tfast\tckpts\tverdict")
 	type caught struct {
 		row  string
 		viol *monitor.Violation
@@ -192,26 +221,31 @@ func runMonitored(mode monitor.Mode, g, txPerG int) {
 				name string
 				frac float64
 			}{{"90% reads", 0.9}, {"50% reads", 0.5}} {
-				var sess *monitor.Session
+				row := fmt.Sprintf("%s/%s/%s", e.Name, label, mix.name)
+				var member *controlplane.Member
 				wrapped := bench.Engine{
 					Name: engine.Name,
 					New: func(n int) stm.TM {
 						rec := stm.NewRecorder(engine.New(n))
-						sess = monitor.Attach(rec, monitor.Options{Mode: mode})
+						m, err := fleet.Attach(row, rec)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "tmbench: %s: %v\n", row, err)
+							os.Exit(1)
+						}
+						member = m
 						return rec
 					},
 				}
 				r := bench.Throughput(wrapped, k, g, txPerG, opsPerTx, mix.frac)
-				v := sess.Close()
-				row := fmt.Sprintf("%s/%s/%s", e.Name, label, mix.name)
+				v := member.Close()
 				verdict := v.Status.String()
 				if v.Status == monitor.StatusViolated {
 					verdict = fmt.Sprintf("VIOLATED@%d", v.PrefixLen)
 				}
-				fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.1f%%\t%d\t%d\t%d\t%d\t%s\n",
+				fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.1f%%\t%d\t%d\t%d\t%d\t%d\t%s\n",
 					e.Name, label, mix.name, r.OpsPerSec(), 100*r.AbortRate(),
-					v.Events, v.Checked, v.Nodes, v.FastPath, verdict)
-				if viol := sess.Violation(); viol != nil {
+					v.Events, v.Checked, v.Nodes, v.FastPath, v.Checkpoints, verdict)
+				if viol := member.Session().Violation(); viol != nil {
 					caughts = append(caughts, caught{row: row, viol: viol})
 				}
 				if v.Err != nil {
@@ -227,7 +261,9 @@ func runMonitored(mode monitor.Mode, g, txPerG int) {
 			fmt.Printf("  %s\n", c.viol.Diagnosis)
 		}
 	}
-	fmt.Println()
+	st := fleet.Close()
+	fmt.Printf("\nfleet: %d sessions, %d events (%.0f events/s overall), %d violations, status %s\n\n",
+		st.Sessions, st.Events, st.EventsPerSec, st.Violations, st.FleetStatus)
 }
 
 func newTab() *tabwriter.Writer {

@@ -1,0 +1,195 @@
+package controlplane
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"otm/internal/core"
+	"otm/internal/history"
+	"otm/internal/monitor"
+)
+
+// zombieHistory is the §2 schedule: T1 reads x=0, T2 commits x=1,y=1,
+// then T1 reads y=1 — a zombie read no serialization explains, flagged
+// at the final response event with T1 implicated.
+func zombieHistory() history.History {
+	return history.History{
+		history.Inv(1, "x", "read", nil), history.Ret(1, "x", "read", 0),
+		history.Inv(2, "x", "write", 1), history.Ret(2, "x", "write", history.OK),
+		history.Inv(2, "y", "write", 1), history.Ret(2, "y", "write", history.OK),
+		history.TryC(2), history.Commit(2),
+		history.Inv(1, "y", "read", nil), history.Ret(1, "y", "read", 1),
+	}.MustWellFormed()
+}
+
+// captureZombie runs the zombie schedule through a session and returns
+// the Violation its OnViolation callback delivered.
+func captureZombie(t *testing.T) monitor.Violation {
+	t.Helper()
+	var got *monitor.Violation
+	s := monitor.New(monitor.Options{
+		OnViolation: func(v monitor.Violation) { got = &v },
+	})
+	for _, ev := range zombieHistory() {
+		s.Append(ev)
+	}
+	s.Close()
+	if got == nil {
+		t.Fatal("zombie schedule produced no violation")
+	}
+	return *got
+}
+
+// TestArtifactRoundTrip is the satellite contract end to end: inject a
+// zombie, capture the violation as an artifact, decode the bytes back,
+// and replay offline — the fresh diagnosis must re-derive the same
+// verdict, position and culprit set.
+func TestArtifactRoundTrip(t *testing.T) {
+	v := captureZombie(t)
+	a := NewArtifact("shard-0", v)
+	if !a.Replayable {
+		t.Fatalf("untruncated capture not replayable: %+v", a)
+	}
+	if a.PrefixLen != 10 {
+		t.Errorf("PrefixLen = %d, want 10", a.PrefixLen)
+	}
+
+	enc := a.Encode()
+	back, err := ParseArtifact(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("ParseArtifact: %v\nartifact:\n%s", err, enc)
+	}
+	if back.Session != "shard-0" || back.PrefixLen != a.PrefixLen ||
+		back.Event != a.Event || back.Diagnosed != a.Diagnosed ||
+		back.Replayable != a.Replayable {
+		t.Fatalf("decoded %+v, want %+v", back, a)
+	}
+	if len(back.Culprits) != len(a.Culprits) {
+		t.Fatalf("culprits %v, want %v", back.Culprits, a.Culprits)
+	}
+	for i := range back.Culprits {
+		if back.Culprits[i] != a.Culprits[i] {
+			t.Fatalf("culprits %v, want %v", back.Culprits, a.Culprits)
+		}
+	}
+	if back.History.String() != a.History.String() {
+		t.Fatalf("history %q, want %q", back.History.String(), a.History.String())
+	}
+
+	out, err := back.Replay(core.Config{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !out.Confirmed() {
+		t.Fatalf("replay did not confirm: %+v (diagnosis %+v)", out, out.Diagnosis)
+	}
+	if out.Diagnosis.Opaque {
+		t.Fatal("replay found the history opaque")
+	}
+}
+
+// TestArtifactReEncodeStable: Encode ∘ ParseArtifact is the identity on
+// the wire format.
+func TestArtifactReEncodeStable(t *testing.T) {
+	v := captureZombie(t)
+	enc := NewArtifact("s", v).Encode()
+	back, err := ParseArtifact(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := back.Encode(); !bytes.Equal(enc, again) {
+		t.Fatalf("re-encode drifted:\n%s\nvs\n%s", enc, again)
+	}
+}
+
+// TestArtifactIsCorpusFile: the artifact's history line stands alone —
+// any corpus tooling that strips # comments can parse and re-check it.
+func TestArtifactIsCorpusFile(t *testing.T) {
+	v := captureZombie(t)
+	var histLine string
+	for _, line := range strings.Split(string(NewArtifact("s", v).Encode()), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			if histLine != "" {
+				t.Fatalf("more than one non-comment line")
+			}
+			histLine = line
+		}
+	}
+	h, err := history.Parse(histLine)
+	if err != nil {
+		t.Fatalf("history line not parseable: %v", err)
+	}
+	r, err := core.Check(h, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opaque {
+		t.Fatal("corpus check found the captured history opaque")
+	}
+}
+
+func TestParseArtifactErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong version":  "# some other file v9\nC1\n",
+		"no version":     "r1(x)->0\n",
+		"empty":          "",
+		"no history":     "# otm-violation-artifact v1\n# session: s\n",
+		"two histories":  "# otm-violation-artifact v1\ntryC1 C1\ntryC2 C2\n",
+		"bad prefix-len": "# otm-violation-artifact v1\n# prefix-len: many\ntryC1 C1\n",
+		"bad culprits":   "# otm-violation-artifact v1\n# culprits: X9\ntryC1 C1\n",
+		"bad history":    "# otm-violation-artifact v1\nnot a history\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseArtifact(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseArtifact accepted %q", name, in)
+		}
+	}
+}
+
+// TestReplayRefusesTruncated: an artifact whose capturing session
+// truncated before the violation holds only the live suffix, so Replay
+// must refuse rather than re-check from the wrong initial state.
+func TestReplayRefusesTruncated(t *testing.T) {
+	v := captureZombie(t)
+	a := NewArtifact("s", v)
+	a.Replayable = false
+	if _, err := a.Replay(core.Config{}); err == nil {
+		t.Fatal("Replay accepted a non-replayable artifact")
+	}
+	// And the flag survives the wire format.
+	back, err := ParseArtifact(bytes.NewReader(a.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Replayable {
+		t.Fatal("replayable flag lost in encoding")
+	}
+}
+
+// TestReplayDetectsTampering: an artifact whose recorded culprit set no
+// longer matches the fresh diagnosis must not confirm.
+func TestReplayDetectsTampering(t *testing.T) {
+	v := captureZombie(t)
+	a := NewArtifact("s", v)
+	a.Culprits = []history.TxID{99}
+	out, err := a.Replay(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CulpritsMatch || out.Confirmed() {
+		t.Fatalf("tampered culprits confirmed: %+v", out)
+	}
+	// An undiagnosed capture has no culprit set to compare; the verdict
+	// position alone decides confirmation.
+	b := NewArtifact("s", v)
+	b.Diagnosed = false
+	b.Culprits = nil
+	out, err = b.Replay(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CulpritsMatch || !out.VerdictMatches {
+		t.Fatalf("undiagnosed replay: %+v", out)
+	}
+}

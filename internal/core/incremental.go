@@ -143,6 +143,20 @@ func (inc *Incremental) History() history.History { return inc.app.History() }
 // the usual single-goroutine rules apply.
 func (inc *Incremental) Context() *SearchContext { return inc.ctx }
 
+// ContextStats returns the search-table counters of the checker's
+// SearchContext — states and atoms interned, memo entries and hit rates
+// — or the zero Stats on the DisableMemo reference path, which runs
+// with no context. It follows the context's single-goroutine rules
+// (call it from the appending goroutine, between appends); the monitor
+// mirrors the result into lock-free counters so telemetry scrapes never
+// touch the context itself.
+func (inc *Incremental) ContextStats() Stats {
+	if inc.ctx == nil {
+		return Stats{}
+	}
+	return inc.ctx.Stats()
+}
+
 // Append extends the history with evs, in order, and returns the verdict
 // covering every event appended so far. A non-nil error (ill-formed
 // event, exhausted node budget) latches; the returned result is the last

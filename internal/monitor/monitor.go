@@ -35,6 +35,8 @@ package monitor
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"otm/internal/core"
 	"otm/internal/history"
@@ -139,6 +141,28 @@ type Options struct {
 	// (0 = the core default). Blown budgets abandon the attempt, they do
 	// not fail the session.
 	TruncateMaxNodes int
+	// TruncateBarrier arms an admission barrier that makes truncation
+	// effective under workloads that never quiesce on their own.
+	// Truncation can only collapse the suffix at a quiescent point —
+	// every transaction completed — and with several goroutines issuing
+	// transactions back to back such points become combinatorially rare,
+	// so the live suffix (and with it the per-event witness-replay cost)
+	// grows without bound. With the barrier armed, once the events
+	// admitted since the last checkpoint reach TruncateBarrier, the
+	// session's AdmissionGate — wired into the recorder by Attach, so
+	// it runs at Begin with no lock held — stalls the start of NEW
+	// transactions until the already-open transactions complete and the
+	// checker truncates at the resulting quiescent point (or declines
+	// there, which also releases the stall). Events of open
+	// transactions are never stalled, so that point always arrives;
+	// sessions fed directly through Append are only ever bookkept,
+	// never blocked.
+	// The stalls are counted in Stats (BarrierStalls, BarrierWaitNanos):
+	// a bounded, observable pause in exchange for bounded monitor state.
+	// 0 (default) disables the barrier. A positive barrier with no
+	// TruncateAfterEvents/Txs threshold arms truncation at the barrier
+	// length itself.
+	TruncateBarrier int
 	// OnViolation, if non-nil, is called once, with the violation, when
 	// the verdict flips. It must never call Close (it runs inside the
 	// session's intake critical section). In Sync mode it runs on the
@@ -175,8 +199,13 @@ type Verdict struct {
 	// Checked counts the events consumed by the incremental checker;
 	// the verdict covers exactly this prefix.
 	Checked int
-	// Dropped counts events discarded by the Drop policy.
+	// Dropped counts events discarded by the Drop policy, and Lossy
+	// latches whether any event was ever dropped: the two agree —
+	// Dropped > 0 exactly when Lossy (and exactly when the session
+	// latched StatusLossy), so telemetry can report both the fact and
+	// the magnitude of the information loss.
 	Dropped int
+	Lossy   bool
 	// PrefixLen is the shortest non-opaque prefix (StatusViolated), -1
 	// otherwise.
 	PrefixLen int
@@ -203,12 +232,90 @@ type Verdict struct {
 	Err error
 }
 
+// Stats is a lock-free snapshot of a session's observability counters,
+// read entirely from atomics the append and check paths maintain as
+// they go: a telemetry scrape calling Stats mid-run takes no session
+// lock and therefore never blocks — or is blocked by — an append, a
+// check or a violation capture. Each counter is individually exact;
+// across fields the snapshot is only loosely consistent while the
+// session is running (exact after Close), which is the usual metrics
+// contract.
+type Stats struct {
+	// Status, Events, Checked, Dropped, Lossy and PrefixLen mirror the
+	// Verdict fields of the same names.
+	Status    Status
+	Events    int
+	Checked   int
+	Dropped   int
+	Lossy     bool
+	PrefixLen int
+	// QueueDepth and QueueCap describe the Async queue: events enqueued
+	// but not yet drained, and the buffer capacity (both 0 for Sync).
+	QueueDepth int
+	QueueCap   int
+	// Nodes, FastPath, Searches and Skipped mirror the Verdict fields:
+	// search nodes, witness-revalidation fast-path checks, full
+	// searches, and response events skipped outright.
+	Nodes    int
+	FastPath int
+	Searches int
+	Skipped  int
+	// Checkpoints, TruncatedEvents, LiveEvents, Roots and TruncNodes
+	// mirror the checkpointed-truncation counters.
+	Checkpoints     int
+	TruncatedEvents int
+	LiveEvents      int
+	Roots           int
+	TruncNodes      int
+	// TableStates, TableAtoms and TableMemoEntries are the session
+	// SearchContext's residency counters (core.Stats.States, .Atoms,
+	// .MemoEntries): how much interned state the session is holding.
+	TableStates      int
+	TableAtoms       int
+	TableMemoEntries int
+	// BarrierStalls counts transaction starts the TruncateBarrier
+	// stalled, and BarrierWaitNanos the total time they spent waiting —
+	// the admission-control cost the barrier trades for bounded state.
+	BarrierStalls    int
+	BarrierWaitNanos int64
+}
+
+// counters are the session's atomic mirrors behind Stats. The append
+// path adds to events/dropped, check publishes the incremental result
+// after every consumed event, and status follows every latch. They
+// duplicate the mutex-guarded verdict state on purpose: Verdict keeps
+// its existing consistency (one lock, one snapshot), while Stats reads
+// here without ever taking a lock.
+type counters struct {
+	status    atomic.Int32
+	events    atomic.Int64
+	checked   atomic.Int64
+	dropped   atomic.Int64
+	prefixLen atomic.Int64
+	nodes     atomic.Int64
+	fastPath  atomic.Int64
+	searches  atomic.Int64
+	skipped   atomic.Int64
+	ckpts     atomic.Int64
+	truncEvs  atomic.Int64
+	roots     atomic.Int64
+	truncNds  atomic.Int64
+	tblStates atomic.Int64
+	tblAtoms  atomic.Int64
+	tblMemo   atomic.Int64
+	barStalls atomic.Int64
+	barWaitNs atomic.Int64
+}
+
 // Session is one online monitoring session over one growing history.
 // Appends must arrive in history order (the recorder tap guarantees
 // this: it runs under the recorder's mutex); Verdict, Violation,
-// History and Close may be called from any goroutine at any time.
+// History, Stats and Close may be called from any goroutine at any
+// time.
 type Session struct {
 	opts Options
+
+	st counters
 
 	// incMu guards the incremental checker; mu guards the published
 	// session state. Split so an Async drain mid-check never blocks the
@@ -230,6 +337,17 @@ type Session struct {
 	done    chan struct{}
 	closeMu sync.RWMutex
 	closed  bool
+
+	// Admission barrier (TruncateBarrier > 0). barMu guards the
+	// appender-side view: which transactions have started but not
+	// completed, and how many events were admitted since the last
+	// barrier release. It is taken before closeMu — a stalled appender
+	// must not hold the close lock, or Close would deadlock behind it.
+	barMu      sync.Mutex
+	barCond    *sync.Cond
+	barOpen    map[history.TxID]struct{}
+	barSince   int
+	barClosing bool
 }
 
 // New starts a session. Async sessions own a drain goroutine until
@@ -244,6 +362,11 @@ func New(opts Options) *Session {
 		status: StatusOpaque,
 	}
 	s.last = s.inc.Result()
+	s.st.prefixLen.Store(-1)
+	if opts.TruncateBarrier > 0 {
+		s.barCond = sync.NewCond(&s.barMu)
+		s.barOpen = make(map[history.TxID]struct{})
+	}
 	if opts.Mode == Async {
 		buf := opts.Buffer
 		if buf <= 0 {
@@ -260,6 +383,9 @@ func New(opts Options) *Session {
 // order. Detach by rec.Tap(nil); Close the session when the run ends.
 func Attach(rec *stm.Recorder, opts Options) *Session {
 	s := New(opts)
+	if g := s.AdmissionGate(); g != nil {
+		rec.Gate(g)
+	}
 	rec.Tap(func(ev history.Event) { s.Append(ev) })
 	return s
 }
@@ -270,6 +396,7 @@ func Attach(rec *stm.Recorder, opts Options) *Session {
 // now — possibly lagging the enqueued event. Events offered after
 // Close are ignored in both modes, so a Close verdict is final.
 func (s *Session) Append(ev history.Event) Verdict {
+	s.admit(ev)
 	if s.opts.Mode == Async {
 		return s.appendAsync(ev)
 	}
@@ -281,6 +408,7 @@ func (s *Session) Append(ev history.Event) Verdict {
 	s.incMu.Lock()
 	s.mu.Lock()
 	s.events++
+	s.st.events.Add(1)
 	terminal := s.status != StatusOpaque
 	s.mu.Unlock()
 	var v *Violation
@@ -303,6 +431,7 @@ func (s *Session) appendAsync(ev history.Event) Verdict {
 	}
 	s.mu.Lock()
 	s.events++
+	s.st.events.Add(1)
 	terminal := s.status != StatusOpaque
 	s.mu.Unlock()
 	if terminal {
@@ -316,15 +445,107 @@ func (s *Session) appendAsync(ev history.Event) Verdict {
 		default:
 			s.mu.Lock()
 			s.dropped++
+			s.st.dropped.Add(1)
 			if s.status == StatusOpaque {
 				s.status = StatusLossy
 			}
+			s.st.status.Store(int32(s.status))
 			s.mu.Unlock()
+			s.barrierWake()
 		}
 	} else {
 		s.ch <- ev
 	}
 	return s.Verdict()
+}
+
+// admit maintains the barrier's appender-side bookkeeping for one
+// event: which transactions are open, and how many events were admitted
+// since the last release. It never blocks — stalling happens only in
+// the AdmissionGate, at transaction start, where no recorder or session
+// lock is held.
+func (s *Session) admit(ev history.Event) {
+	if s.opts.TruncateBarrier <= 0 {
+		return
+	}
+	s.barMu.Lock()
+	if _, open := s.barOpen[ev.Tx]; !open {
+		s.barOpen[ev.Tx] = struct{}{}
+	}
+	if ev.Kind == history.KindCommit || ev.Kind == history.KindAbort {
+		delete(s.barOpen, ev.Tx)
+		if len(s.barOpen) == 0 {
+			// The stream is quiescent at this position: wake gated
+			// starters so they are not stranded once every producer is
+			// waiting. Their wait condition re-checks the open set, so
+			// they proceed; the checker truncates here once its
+			// threshold is due.
+			s.barCond.Broadcast()
+		}
+	}
+	s.barSince++
+	s.barMu.Unlock()
+}
+
+// AdmissionGate returns the barrier's admission hook, or nil when no
+// TruncateBarrier is armed. Registered as an stm.Recorder Gate (Attach
+// does this automatically), it runs at the start of every transaction —
+// outside the recorder mutex, before any event of the transaction
+// exists — and blocks while the admitted-but-untruncated stretch
+// exceeds the barrier and other transactions are still open. Events of
+// open transactions never pass the gate, so the quiescent point the
+// gate is waiting for always arrives; a truncation attempt there (see
+// check) or a latched verdict or Close releases all waiters.
+func (s *Session) AdmissionGate() func() {
+	if s.opts.TruncateBarrier <= 0 {
+		return nil
+	}
+	return func() {
+		s.barMu.Lock()
+		if s.barSince >= s.opts.TruncateBarrier && len(s.barOpen) > 0 && s.barBlocking() {
+			s.st.barStalls.Add(1)
+			start := time.Now()
+			for s.barSince >= s.opts.TruncateBarrier && len(s.barOpen) > 0 && s.barBlocking() {
+				s.barCond.Wait()
+			}
+			s.st.barWaitNs.Add(time.Since(start).Nanoseconds())
+		}
+		s.barMu.Unlock()
+	}
+}
+
+// barBlocking reports whether the barrier may stall: only while the
+// session is live and still certifying. Callers hold barMu.
+func (s *Session) barBlocking() bool {
+	return !s.barClosing && Status(s.st.status.Load()) == StatusOpaque
+}
+
+// barrierRelease wakes stalled appenders after the checker had its
+// truncation chance at a quiescent point. retained is the live-suffix
+// length that survived; the queue backlog (admitted, not yet drained)
+// is added back so the barrier re-arms at an honest suffix estimate.
+func (s *Session) barrierRelease(retained int) {
+	if s.opts.TruncateBarrier <= 0 {
+		return
+	}
+	s.barMu.Lock()
+	s.barSince = retained
+	if s.ch != nil {
+		s.barSince += len(s.ch)
+	}
+	s.barCond.Broadcast()
+	s.barMu.Unlock()
+}
+
+// barrierWake releases all waiters unconditionally (latch or Close):
+// their wait condition consults the latched status and barClosing.
+func (s *Session) barrierWake() {
+	if s.opts.TruncateBarrier <= 0 {
+		return
+	}
+	s.barMu.Lock()
+	s.barCond.Broadcast()
+	s.barMu.Unlock()
 }
 
 // drain is the Async checking goroutine.
@@ -354,9 +575,14 @@ func (s *Session) check(ev history.Event) *Violation {
 		// Auto-truncation: TryTruncate declines for free when the suffix
 		// is not quiescent or too expensive to collapse; only internal
 		// inconsistencies surface as errors (and latch, like any checking
-		// error).
-		if _, terr := s.inc.TryTruncate(s.opts.TruncateMaxNodes); terr != nil {
+		// error). A successful truncation — or a decline at a quiescent
+		// point, which was the barrier's best shot — releases any
+		// appenders stalled on the admission barrier.
+		ok, terr := s.inc.TryTruncate(s.opts.TruncateMaxNodes)
+		if terr != nil {
 			err = terr
+		} else if ok || s.inc.Stable() {
+			s.barrierRelease(s.inc.LiveLen())
 		}
 		res = s.inc.Result()
 	}
@@ -382,6 +608,24 @@ func (s *Session) check(ev history.Event) *Violation {
 			}
 		}
 	}
+	// Mirror the incremental result and the search-table residency into
+	// the lock-free Stats counters. ContextStats follows the context's
+	// single-goroutine rules — callers of check hold incMu, the same
+	// exclusion the checking itself runs under.
+	cs := s.inc.ContextStats()
+	s.st.checked.Store(int64(res.Events))
+	s.st.prefixLen.Store(int64(res.PrefixLen))
+	s.st.nodes.Store(int64(res.Nodes))
+	s.st.fastPath.Store(int64(res.FastPath))
+	s.st.searches.Store(int64(res.Searches))
+	s.st.skipped.Store(int64(res.Skipped))
+	s.st.ckpts.Store(int64(res.Checkpoints))
+	s.st.truncEvs.Store(int64(res.TruncatedEvents))
+	s.st.roots.Store(int64(res.Roots))
+	s.st.truncNds.Store(int64(res.TruncNodes))
+	s.st.tblStates.Store(int64(cs.States))
+	s.st.tblAtoms.Store(int64(cs.Atoms))
+	s.st.tblMemo.Store(int64(cs.MemoEntries))
 	s.mu.Lock()
 	s.last = res
 	switch {
@@ -392,15 +636,25 @@ func (s *Session) check(ev history.Event) *Violation {
 		s.status = StatusViolated
 		s.violation = v
 	}
+	latched := s.status != StatusOpaque
+	s.st.status.Store(int32(s.status))
 	s.mu.Unlock()
+	if latched {
+		s.barrierWake()
+	}
 	return v
 }
 
 // truncateDue reports whether the live suffix has outgrown the
-// configured truncation thresholds. Callers hold incMu.
+// configured truncation thresholds. A barrier with no explicit
+// threshold arms truncation at the barrier length, so stalled
+// appenders always have a truncation attempt to wait for. Callers
+// hold incMu.
 func (s *Session) truncateDue() bool {
-	ae, at := s.opts.TruncateAfterEvents, s.opts.TruncateAfterTxs
-	return (ae > 0 && s.inc.LiveLen() >= ae) || (at > 0 && s.inc.LiveTxs() >= at)
+	ae, at, b := s.opts.TruncateAfterEvents, s.opts.TruncateAfterTxs, s.opts.TruncateBarrier
+	return (ae > 0 && s.inc.LiveLen() >= ae) ||
+		(at > 0 && s.inc.LiveTxs() >= at) ||
+		(b > 0 && s.inc.LiveLen() >= b)
 }
 
 // Verdict returns a snapshot of the session's state. For Async sessions
@@ -413,6 +667,7 @@ func (s *Session) Verdict() Verdict {
 		Events:          s.events,
 		Checked:         s.last.Events,
 		Dropped:         s.dropped,
+		Lossy:           s.dropped > 0,
 		PrefixLen:       s.last.PrefixLen,
 		Nodes:           s.last.Nodes,
 		FastPath:        s.last.FastPath,
@@ -425,6 +680,44 @@ func (s *Session) Verdict() Verdict {
 		TruncNodes:      s.last.TruncNodes,
 		Err:             s.err,
 	}
+}
+
+// Stats returns a lock-free snapshot of the session's counters, read
+// entirely from atomics: unlike Verdict it acquires no session lock, so
+// a telemetry scraper can call it at any rate without perturbing the
+// append path or waiting out an in-flight check. See the Stats type for
+// the consistency contract.
+func (s *Session) Stats() Stats {
+	dropped := int(s.st.dropped.Load())
+	checked := int(s.st.checked.Load())
+	truncEvs := int(s.st.truncEvs.Load())
+	st := Stats{
+		Status:           Status(s.st.status.Load()),
+		Events:           int(s.st.events.Load()),
+		Checked:          checked,
+		Dropped:          dropped,
+		Lossy:            dropped > 0,
+		PrefixLen:        int(s.st.prefixLen.Load()),
+		Nodes:            int(s.st.nodes.Load()),
+		FastPath:         int(s.st.fastPath.Load()),
+		Searches:         int(s.st.searches.Load()),
+		Skipped:          int(s.st.skipped.Load()),
+		Checkpoints:      int(s.st.ckpts.Load()),
+		TruncatedEvents:  truncEvs,
+		LiveEvents:       checked - truncEvs,
+		Roots:            int(s.st.roots.Load()),
+		TruncNodes:       int(s.st.truncNds.Load()),
+		TableStates:      int(s.st.tblStates.Load()),
+		TableAtoms:       int(s.st.tblAtoms.Load()),
+		TableMemoEntries: int(s.st.tblMemo.Load()),
+		BarrierStalls:    int(s.st.barStalls.Load()),
+		BarrierWaitNanos: s.st.barWaitNs.Load(),
+	}
+	if s.opts.Mode == Async {
+		st.QueueDepth = len(s.ch)
+		st.QueueCap = cap(s.ch)
+	}
+	return st
 }
 
 // Violation returns the recorded violation, or nil. The returned value
@@ -451,6 +744,12 @@ func (s *Session) History() history.History {
 // call it from an OnViolation callback (the callback runs inside
 // Append's critical section).
 func (s *Session) Close() Verdict {
+	if s.opts.TruncateBarrier > 0 {
+		s.barMu.Lock()
+		s.barClosing = true
+		s.barCond.Broadcast()
+		s.barMu.Unlock()
+	}
 	s.closeMu.Lock()
 	first := !s.closed
 	s.closed = true

@@ -31,6 +31,7 @@ type Recorder struct {
 	mu     sync.Mutex
 	h      history.History
 	tap    func(history.Event)
+	gate   func()
 	nextTx atomic.Int64
 }
 
@@ -46,10 +47,31 @@ func (r *Recorder) Name() string { return r.inner.Name() + "+rec" }
 func (r *Recorder) Len() int { return r.inner.Len() }
 
 // Begin implements TM, assigning the new transaction the next history
-// identifier T1, T2, ...
+// identifier T1, T2, ... A registered gate (see Gate) runs first, with
+// no lock held, and may block the start of the transaction.
 func (r *Recorder) Begin() Tx {
+	r.mu.Lock()
+	gate := r.gate
+	r.mu.Unlock()
+	if gate != nil {
+		gate()
+	}
 	id := history.TxID(r.nextTx.Add(1))
 	return &recTx{rec: r, id: id, inner: r.inner.Begin()}
+}
+
+// Gate registers fn to run at the start of every subsequent Begin,
+// before the underlying engine is consulted and with no recorder lock
+// held. A monitor uses it for admission control: blocking inside fn
+// delays the start of NEW transactions without impeding the events of
+// transactions already running — those never pass the gate, so whatever
+// quiescent point fn is waiting for remains reachable. Contrast Tap,
+// which runs under the recorder mutex and must never block. A nil fn
+// removes the gate.
+func (r *Recorder) Gate(fn func()) {
+	r.mu.Lock()
+	r.gate = fn
+	r.mu.Unlock()
 }
 
 // History returns a snapshot of the recorded history.

@@ -1,0 +1,301 @@
+// Package telemetry is the observability substrate of the monitoring
+// control plane: a registry of named, labeled metrics backed by atomic
+// counters and gauges, rendered in two wire formats from one source of
+// truth — the Prometheus text exposition format (for scraping) and an
+// expvar-style flat JSON object (for humans and tests). It is stdlib
+// only, by design: the control plane must not drag a metrics dependency
+// into a checker library.
+//
+// Two metric classes exist, each in a stored and a functional flavor:
+//
+//   - Counter / CounterFunc: monotonically increasing totals
+//     (events seen, drops, search nodes). The functional flavor reads
+//     its value on demand, which is how the control plane exports the
+//     monitor's lock-free Stats counters without copying them on a
+//     schedule.
+//   - Gauge / GaugeFunc: instantaneous values (queue depth, live-suffix
+//     length, heap residency).
+//
+// Registration is strict: metric and label names must match the
+// Prometheus grammar, and registering the same (name, labels) sample
+// twice panics, like flag redefinition — a duplicate is a wiring bug,
+// not a runtime condition. Reads never lock the registry's samples:
+// stored values are atomics and functional values call straight into
+// the producer, so a scrape perturbs the monitored system only by the
+// cost the producer's read path chooses to pay.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a sample. Labels are
+// rendered in registration order, which the registry also uses for
+// sample identity.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing stored value. The zero value is
+// usable, but counters are normally minted by Registry.Counter so they
+// render.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be ≥ 0 for the Prometheus
+// contract to hold; Add does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a stored instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+)
+
+// sample is one registered (name, labels) series.
+type sample struct {
+	labels []Label
+	key    string // rendered label block, for identity and output
+	value  func() float64
+	isInt  bool // render without a decimal point (counters from int64 sources)
+}
+
+// family groups the samples of one metric name under one HELP/TYPE.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	samples []*sample
+	byKey   map[string]*sample
+}
+
+// Registry holds the metric families of one exporter.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string // sorted family names, maintained on registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or panics on a duplicate of) a stored counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, labels, func() float64 { return float64(c.Value()) }, true)
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time. fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, kindCounter, labels, func() float64 { return float64(fn()) }, true)
+}
+
+// Gauge registers a stored gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, labels, g.Value, false)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, labels, fn, false)
+}
+
+func (r *Registry) register(name, help, kind string, labels []Label, value func() float64, isInt bool) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("telemetry: metric %s: invalid label name %q", name, l.Name))
+		}
+	}
+	s := &sample{labels: labels, key: labelBlock(labels), value: value, isInt: isInt}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*sample)}
+		r.families[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if _, dup := f.byKey[s.key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate sample %s%s", name, s.key))
+	}
+	f.byKey[s.key] = s
+	f.samples = append(f.samples, s)
+}
+
+// validName checks the Prometheus metric/label name grammar:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelBlock renders labels as {a="x",b="y"}, or "" for none. Values are
+// escaped per the exposition format (backslash, quote, newline).
+func labelBlock(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64, isInt bool) string {
+	if isInt {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered sample in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name, each
+// preceded by its # HELP and # TYPE lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.key, formatValue(s.value(), s.isInt))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders every sample as one flat JSON object in expvar
+// style: each key is the sample's full identity (name plus label block)
+// and each value its current reading. Keys are emitted sorted, so the
+// output is deterministic for a quiesced registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	flat := make(map[string]any)
+	for _, name := range r.names {
+		f := r.families[name]
+		for _, s := range f.samples {
+			v := s.value()
+			if s.isInt {
+				flat[f.name+s.key] = int64(v)
+			} else {
+				flat[f.name+s.key] = v
+			}
+		}
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flat)
+}
+
+// Handler serves the registry over HTTP: the Prometheus text format by
+// default, the JSON rendering when the request asks for it with
+// ?format=json (or an Accept header preferring application/json).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

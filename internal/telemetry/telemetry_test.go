@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("otm_test_total", "a counter")
+	g := r.Gauge("otm_test_depth", "a gauge")
+	c.Inc()
+	c.Add(41)
+	g.Set(2.5)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("otm_events_total", "events seen", L("session", "s0"))
+	c.Add(7)
+	r.CounterFunc("otm_events_total", "events seen", func() int64 { return 9 }, L("session", "s1"))
+	g := r.Gauge("otm_depth", "queue depth")
+	g.Set(3)
+	r.GaugeFunc("otm_rate", "events per second", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP otm_depth queue depth
+# TYPE otm_depth gauge
+otm_depth 3
+# HELP otm_events_total events seen
+# TYPE otm_events_total counter
+otm_events_total{session="s0"} 7
+otm_events_total{session="s1"} 9
+# HELP otm_rate events per second
+# TYPE otm_rate gauge
+otm_rate 1.5
+`
+	if b.String() != want {
+		t.Fatalf("prometheus rendering:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("otm_a_total", "", L("x", "1")).Add(5)
+	r.GaugeFunc("otm_b", "", func() float64 { return 0.25 })
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got[`otm_a_total{x="1"}`] != float64(5) {
+		t.Fatalf("counter sample = %v, want 5", got[`otm_a_total{x="1"}`])
+	}
+	if got["otm_b"] != 0.25 {
+		t.Fatalf("gauge sample = %v, want 0.25", got["otm_b"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("otm_esc", "", L("path", `a\b"c`+"\n"))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `otm_esc{path="a\\b\"c\n"} 0`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestDuplicateSamplePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("otm_dup_total", "", L("s", "x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("otm_dup_total", "", L("s", "x"))
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("otm_kind", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("otm_kind", "", L("s", "x"))
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, name := range []string{"", "0abc", "with-dash", "sp ace"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid label name did not panic")
+		}
+	}()
+	NewRegistry().Counter("otm_ok", "", L("bad-label", "v"))
+}
+
+func TestValidNameAccepts(t *testing.T) {
+	for _, name := range []string{"a", "otm_x:y", "_hidden", "A9"} {
+		if !validName(name) {
+			t.Errorf("validName(%q) = false, want true", name)
+		}
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("otm_h_total", "h").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain...", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := res.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "otm_h_total 3") {
+		t.Fatalf("prometheus body missing sample:\n%s", buf[:n])
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if ct := res2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(res2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["otm_h_total"] != float64(3) {
+		t.Fatalf("json sample = %v, want 3", got["otm_h_total"])
+	}
+
+	res3, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3.Body.Close()
+	if res3.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", res3.StatusCode)
+	}
+}
+
+func TestAcceptHeaderSelectsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("otm_aj", "").Set(1)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q, want application/json", ct)
+	}
+}
+
+// TestConcurrentScrape pins that rendering is safe against concurrent
+// registration and updates (the -race matrix runs this).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("otm_conc_total", "")
+	g := r.Gauge("otm_conc_depth", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			g.Set(float64(i))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		// Registration of fresh samples races the updates above.
+		r.Gauge("otm_conc_extra", "", L("i", strconv.Itoa(i))).Set(float64(i))
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

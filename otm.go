@@ -28,10 +28,16 @@
 //	internal/cm        contention managers
 //	internal/interleave deterministic schedule replay
 //	internal/gen       random history & workload generators
+//	internal/monitor   online opacity monitoring of live executions
+//	internal/controlplane fleet aggregation, telemetry, violation capture
+//	internal/telemetry stdlib metrics registry (Prometheus text + JSON)
 package otm
 
 import (
+	"io"
+
 	"otm/internal/cm"
+	"otm/internal/controlplane"
 	"otm/internal/core"
 	"otm/internal/criteria"
 	"otm/internal/history"
@@ -146,6 +152,43 @@ func NewMonitor(opts MonitorOptions) *MonitorSession { return monitor.New(opts) 
 // violating event.
 func AttachMonitor(rec *Recorder, opts MonitorOptions) *MonitorSession {
 	return monitor.Attach(rec, opts)
+}
+
+// Monitoring control plane (see internal/controlplane): fleets of
+// monitoring sessions with aggregated status, exported telemetry
+// (Prometheus text or JSON over HTTP) and replayable violation capture.
+type (
+	// MonitorStats is a session's lock-free counter snapshot, readable
+	// mid-run without perturbing the append path.
+	MonitorStats = monitor.Stats
+	// Fleet owns and aggregates a set of monitoring sessions.
+	Fleet = controlplane.Fleet
+	// FleetOptions configures a fleet.
+	FleetOptions = controlplane.Options
+	// FleetMember is one session of a fleet.
+	FleetMember = controlplane.Member
+	// FleetStatus is the aggregated fleet verdict and rate snapshot.
+	FleetStatus = controlplane.Status
+	// FleetViolation is a captured fleet violation record.
+	FleetViolation = controlplane.ViolationRecord
+	// ViolationArtifact is a replayable violation capture.
+	ViolationArtifact = controlplane.Artifact
+)
+
+// Fleet-wide violation policies.
+const (
+	FleetStopOne = controlplane.StopOne
+	FleetStopAll = controlplane.StopAll
+)
+
+// NewFleet creates an empty monitoring fleet; add members with Add or
+// Attach and serve telemetry via its Handler.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return controlplane.New(opts) }
+
+// ParseViolationArtifact decodes a violation artifact captured by a
+// fleet; Replay re-derives its verdict offline.
+func ParseViolationArtifact(r io.Reader) (*ViolationArtifact, error) {
+	return controlplane.ParseArtifact(r)
 }
 
 // Criteria reports (see internal/criteria).
